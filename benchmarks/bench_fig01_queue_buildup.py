@@ -1,0 +1,36 @@
+"""Fig 1: bottleneck data-queue length vs concurrent flows.
+
+Paper shape: the credit-based scheme's max queue is flat in fan-in; the
+ideal rate control's grows with fan-in; DCTCP's is the largest and hits the
+buffer.  (Paper fan-outs reach 2048 on an 8-ary fat tree; default here is
+8..64 on one ToR — same mechanism, see DESIGN.md §2.)
+"""
+
+from repro.experiments import fig01_queue_buildup
+from benchmarks.conftest import emit, scaled
+
+
+def test_fig01_queue_buildup(once):
+    fan_ins = [8, 16, 32, scaled(64)]
+    result = once(
+        fig01_queue_buildup.run,
+        protocols=("ideal", "dctcp", "expresspass"),
+        fan_ins=fan_ins,
+        n_hosts=16,
+        duration_ps=10_000_000_000,  # 10 ms
+    )
+    emit(result)
+
+    def series(protocol):
+        return {r["fan_in"]: r for r in result.rows if r["protocol"] == protocol}
+
+    ideal = series("ideal")
+    dctcp = series("dctcp")
+    xpass = series("expresspass")
+    biggest = fan_ins[-1]
+    # Credit scheduling bounds the queue regardless of fan-in...
+    assert xpass[biggest]["queue_pkts_max"] < 24
+    # ...while DCTCP's queue at high fan-in is far larger,
+    assert dctcp[biggest]["queue_pkts_max"] > 4 * xpass[biggest]["queue_pkts_max"]
+    # ...and even ideal per-flow pacing queues more than credits do.
+    assert ideal[biggest]["queue_pkts_max"] > xpass[biggest]["queue_pkts_max"]

@@ -1,0 +1,27 @@
+"""Fig 5: maximum ToR-switch buffer by contributing source (pure analysis).
+
+Paper shape: totals of tens of MB for the software setting (8-credit
+queues, ∆d_host = 5.1 us) across (10/40), (40/100), (100/100); the
+hardware-NIC setting (4 credits, 1 us) needs several times less; growth
+with link speed is sub-linear; host delay dominates at higher speeds.
+"""
+
+from repro.experiments import table1_buffer_bounds
+from benchmarks.conftest import emit
+
+
+def test_fig05_buffer_breakdown(once):
+    result = once(table1_buffer_bounds.run_fig5)
+    emit(result)
+
+    soft = [r for r in result.rows if r["setting"].startswith("(a)")]
+    hw = [r for r in result.rows if r["setting"].startswith("(b)")]
+    # Hardware NIC parameters shrink the requirement at every speed.
+    for s, h in zip(soft, hw):
+        assert h["total_mb"] < 0.6 * s["total_mb"]
+    # Totals stay within commodity shared-buffer territory at 10/40.
+    assert soft[0]["total_mb"] < 16
+    # Sub-linear growth: 10x the edge speed needs << 10x the buffer.
+    assert soft[2]["total_mb"] < 10 * soft[0]["total_mb"]
+    # Host-delay contribution grows with link speed (Fig 5's stacking).
+    assert soft[2]["host_delay_mb"] > soft[0]["host_delay_mb"]

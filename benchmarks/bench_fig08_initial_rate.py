@@ -1,0 +1,25 @@
+"""Fig 8: initial-rate trade-off — convergence time vs wasted credits.
+
+Paper shape: dropping alpha from 1 to 1/32 grows convergence from 2 to
+~14 RTTs while single-packet-flow credit waste falls from ~80 credits
+toward ~2.
+"""
+
+from repro.experiments import fig08_initial_rate
+from benchmarks.conftest import emit
+
+
+def test_fig08_initial_rate(once):
+    alphas = (1.0, 0.5, 0.25, 1 / 16, 1 / 32)
+    result = once(fig08_initial_rate.run, alphas=alphas, max_rtts=600)
+    emit(result)
+    by = {r["alpha"]: r for r in result.rows}
+    # Credit waste decreases monotonically as alpha drops...
+    wastes = [by[a]["wasted_credits"] for a in alphas]
+    assert wastes[0] > wastes[-1]
+    assert wastes[0] > 3 * wastes[-1]
+    # ...while convergence slows.
+    conv_full = by[1.0]["convergence_rtts"]
+    conv_low = by[1 / 32]["convergence_rtts"]
+    assert conv_full is not None
+    assert conv_low is None or conv_low > conv_full

@@ -1,0 +1,37 @@
+"""Fig 9: credit-queue capacity vs under-utilization.
+
+Paper shape: one-credit queues under-utilize (bursty cross-port credit
+arrivals get dropped); eight credits suffice for every flow count — the
+paper's default.
+"""
+
+from repro.experiments import fig09_credit_queue
+from benchmarks.conftest import emit, scaled
+
+
+def test_fig09_credit_queue(once):
+    result = once(
+        fig09_credit_queue.run,
+        flow_counts=(2, 8, scaled(16)),
+        queue_sizes=(1, 2, 4, 8, 16),
+        warmup_ps=10_000_000_000,
+        measure_ps=20_000_000_000,
+    )
+    emit(result)
+
+    def under(n, q):
+        return next(r["under_utilization"] for r in result.rows
+                    if r["flows"] == n and r["credit_queue"] == q)
+
+    # Eight credits keep the under-utilization negligible at every flow
+    # count (the paper's choice)...
+    for n in (2, 8, 16):
+        assert under(n, 8) < 0.02
+        # ...and deeper queues buy nothing more.
+        assert under(n, 16) < under(n, 8) + 0.02
+    # Our pacing is smoother than the paper's ns-2 (jittered pacer plus
+    # byte-metered NICs), so even a 1-credit queue loses only a fraction of
+    # a percent here — the paper measured up to ~6 %.  The direction holds:
+    # shallower queues never *help*.
+    for n in (8, 16):
+        assert under(n, 1) >= under(n, 4) - 0.005

@@ -1,0 +1,32 @@
+"""Fig 10: parking-lot utilization — naive credits vs the feedback loop.
+
+Paper values: naive drops to 83.3 % at two bottlenecks and ~60 % at six;
+the feedback loop holds ~98 % everywhere.
+"""
+
+from repro.experiments import fig10_parking_lot
+from benchmarks.conftest import emit
+
+
+def test_fig10_parking_lot(once):
+    result = once(
+        fig10_parking_lot.run,
+        counts=(1, 2, 4, 6),
+        warmup_ps=20_000_000_000,
+        measure_ps=30_000_000_000,
+    )
+    emit(result)
+
+    def util(n, mode):
+        return next(r["min_link_utilization"] for r in result.rows
+                    if r["bottlenecks"] == n and r["mode"] == mode)
+
+    # Single bottleneck: both modes saturate.
+    assert util(1, "naive") > 0.95
+    # Naive wastes upstream bandwidth, worsening with chain length.
+    assert util(2, "naive") < 0.9
+    assert util(6, "naive") < util(2, "naive") + 0.05
+    assert util(6, "naive") < 0.7
+    # The feedback loop repairs it (~98 % in the paper).
+    for n in (2, 4, 6):
+        assert util(n, "feedback") > 0.93

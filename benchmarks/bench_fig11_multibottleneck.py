@@ -1,0 +1,34 @@
+"""Fig 11: multi-bottleneck fairness — Flow 0's share vs max-min ideal.
+
+Paper shape: with the feedback loop Flow 0 tracks 1/(N+1) of the link
+closely for small N and drifts mildly above it as N grows (sub-credit-per-
+RTT regime); the naive scheme misallocates.
+"""
+
+from repro.experiments import fig11_multibottleneck
+from benchmarks.conftest import emit, scaled
+
+
+def test_fig11_multibottleneck(once):
+    counts = (1, 4, 16, scaled(32))
+    result = once(
+        fig11_multibottleneck.run,
+        counts=counts,
+        warmup_ps=20_000_000_000,
+        measure_ps=40_000_000_000,
+    )
+    emit(result)
+
+    def row(n, mode):
+        return next(r for r in result.rows
+                    if r["cross_flows"] == n and r["mode"] == mode)
+
+    # Feedback tracks max-min within 35 % for small N (paper: "closely
+    # until four flows").
+    for n in (1, 4):
+        r = row(n, "feedback")
+        assert abs(r["flow0_gbps"] - r["maxmin_ideal_gbps"]) \
+            < 0.35 * r["maxmin_ideal_gbps"]
+    # At larger N the gap grows but Flow 0 stays within 2x of ideal.
+    big = row(counts[-1], "feedback")
+    assert big["flow0_gbps"] < 2.5 * big["maxmin_ideal_gbps"]

@@ -1,0 +1,26 @@
+"""Fig 12 / §4: steady-state oscillation of the discrete feedback model.
+
+Verifies the analysis: rates converge to C/N, the oscillation amplitude
+decays to D* = C * w_min * (1 - 1/N), and w settles at w_min — for several
+w_min values (larger w_min -> larger residual oscillation, faster
+convergence: the trade-off §3.2 describes).
+"""
+
+from repro.experiments import fig12_steady_state
+from benchmarks.conftest import emit
+
+
+def test_fig12_steady_state(once):
+    result = once(fig12_steady_state.run, n_flows=8, periods=400,
+                  w_mins=(0.01, 0.04, 0.16))
+    emit(result)
+    rows = result.rows
+    for row in rows:
+        # Amplitude lands on the predicted D*.
+        assert row["final_amplitude"] <= row["predicted_D_star"] * 1.3
+        # All rates are within the oscillation band of fair share.
+        assert row["max_rate_error_vs_fair"] < 2.5 * (0.1 + 8 * row["w_min"])
+        assert row["final_w"] == row["w_min"]
+    # Larger w_min -> larger residual oscillation (paper's trade-off).
+    amplitudes = [r["final_amplitude"] for r in rows]
+    assert amplitudes == sorted(amplitudes)

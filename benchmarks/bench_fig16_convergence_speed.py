@@ -1,0 +1,43 @@
+"""Fig 16: convergence time at 10 G and 100 G link speeds.
+
+Paper shape: ExpressPass converges in a few RTTs *independent of link
+speed* (α=1/16 roughly doubles α=1/2's time); DCTCP's convergence grows
+with the BDP (hundreds of RTTs at 10 G, thousands at 100 G); RCP converges
+in a couple of RTTs at both speeds.  The DCTCP/100 G horizon is truncated
+(reported as non-converged) to keep the benchmark tractable.
+"""
+
+from repro.experiments import fig16_link_speed_convergence
+from benchmarks.conftest import emit
+
+
+def test_fig16_convergence_speed(once):
+    result = once(
+        fig16_link_speed_convergence.run,
+        protocols=("expresspass", "dctcp", "rcp"),
+        rates_gbps=(10, 100),
+        alpha_variants=(0.5, 1 / 16),
+        max_rtts=800,
+    )
+    emit(result)
+
+    def rtts(protocol, rate):
+        row = next(r for r in result.rows
+                   if r["protocol"] == protocol and r["rate_gbps"] == rate)
+        return row["convergence_rtts"], row["converged"]
+
+    ep_10, ok = rtts("expresspass(a=0.5)", 10)
+    assert ok and ep_10 < 60
+    ep_100, ok = rtts("expresspass(a=0.5)", 100)
+    assert ok and ep_100 < 80
+    # Speed independence: 100 G converges in a similar number of RTTs.
+    assert ep_100 < 3 * ep_10 + 20
+    # DCTCP is an order of magnitude slower at 10 G...
+    dctcp_10, ok = rtts("dctcp", 10)
+    assert (not ok) or dctcp_10 > 3 * ep_10
+    # ...and fails to converge within the truncated 100 G horizon.
+    dctcp_100, ok100 = rtts("dctcp", 100)
+    assert (not ok100) or dctcp_100 > dctcp_10
+    # RCP converges fast at both speeds.
+    rcp_10, ok = rtts("rcp", 10)
+    assert ok and rcp_10 < 20

@@ -1,0 +1,26 @@
+"""Fig 18: sensitivity of tail FCT to (α, w_init).
+
+Paper shape: lowering α/w_init trades short-flow FCT (slower start) for
+large-flow FCT (fewer wasted credits); (1/16, 1/16) is the sweet spot.
+"""
+
+from repro.experiments import fig18_param_sensitivity
+from benchmarks.conftest import emit, scaled
+
+
+def test_fig18_param_sensitivity(once):
+    result = once(
+        fig18_param_sensitivity.run,
+        sweep=((1 / 2, 1 / 2), (1 / 16, 1 / 16), (1 / 32, 1 / 32)),
+        workload="cache_follower",
+        load=0.6,
+        n_flows=scaled(400),
+        size_cap_bytes=10_000_000,
+    )
+    emit(result)
+    by = {r["alpha"]: r for r in result.rows}
+    # Lower alpha reduces credit waste...
+    assert by["1/16"]["credit_waste"] < by["1/2"]["credit_waste"]
+    # ...at some cost in short-flow tail FCT (allow noise; the paper's S
+    # penalty at 1/16 is <2x).
+    assert by["1/16"]["p99_fct_S_ms"] < 4 * by["1/2"]["p99_fct_S_ms"]

@@ -1,0 +1,38 @@
+"""Fig 19: avg / p99 FCT per flow-size bucket, five protocols.
+
+Paper shape: ExpressPass wins S/M flows (no queueing + instant ramp),
+by 1.3-5.1x on average vs DCTCP and more at p99; DCTCP/RCP win L/XL
+flows (ExpressPass pays its credit reservation + waste).
+"""
+
+from repro.experiments import fig19_realistic_fct
+from benchmarks.conftest import emit, scaled
+
+
+def test_fig19_realistic_fct(once):
+    result = once(
+        fig19_realistic_fct.run,
+        protocols=("expresspass", "rcp", "dctcp", "dx", "hull"),
+        workload="web_search",
+        load=0.6,
+        n_flows=scaled(350),
+        size_cap_bytes=10_000_000,
+    )
+    emit(result)
+
+    def cell(protocol, bucket, key):
+        row = next((r for r in result.rows
+                    if r["protocol"] == protocol and r["bucket"] == bucket),
+                   None)
+        return row[key] if row else None
+
+    ep_s = cell("expresspass", "S", "p99_fct_ms")
+    dctcp_s = cell("dctcp", "S", "p99_fct_ms")
+    # Short flows: ExpressPass beats DCTCP at the tail.
+    assert ep_s is not None and dctcp_s is not None
+    assert ep_s < dctcp_s
+    # Large flows: DCTCP is competitive or better (credit reservation cost).
+    ep_xl = cell("expresspass", "XL", "avg_fct_ms")
+    dctcp_xl = cell("dctcp", "XL", "avg_fct_ms")
+    if ep_xl is not None and dctcp_xl is not None:
+        assert dctcp_xl < 1.5 * ep_xl

@@ -1,0 +1,32 @@
+"""Closed-loop partition/aggregate incast — the literal §2 workload.
+
+The Fig 1 mechanism, measured with the request/response loop the paper
+describes: the master's downlink queue stays sub-packet under ExpressPass
+at any fan-in (credit arrivals schedule the responses), while DCTCP's
+grows with fan-in.
+"""
+
+from repro.experiments import incast_closed_loop
+from benchmarks.conftest import emit, scaled
+
+
+def test_incast_closed_loop(once):
+    fan_ins = (8, 32, scaled(64))
+    result = once(incast_closed_loop.run,
+                  protocols=("expresspass", "dctcp"),
+                  fan_ins=fan_ins, rounds=30)
+    emit(result)
+
+    def row(protocol, n):
+        return next(r for r in result.rows
+                    if r["protocol"] == protocol and r["fan_in"] == n)
+
+    for n in fan_ins:
+        ep = row("expresspass", n)
+        assert ep["rounds_done"] == 30
+        assert ep["data_drops"] == 0
+        # Credit scheduling keeps the incast queue at ~a packet, flat in N.
+        assert ep["downlink_queue_max_pkts"] < 4
+    # DCTCP's wave queue grows with fan-in.
+    assert (row("dctcp", fan_ins[-1])["downlink_queue_max_pkts"]
+            > 3 * row("dctcp", fan_ins[0])["downlink_queue_max_pkts"])

@@ -1,0 +1,24 @@
+"""ExpressPass vs DCQCN/TIMELY under incast (the §8 RDMA context).
+
+All three deliver zero loss, but by different means with different costs:
+DCQCN leans on PFC pauses and lets the queue climb toward XOFF; TIMELY
+keeps the queue lower but still needs PFC as a safety net; ExpressPass
+needs neither — its queue stays at a few packets with no pause events.
+"""
+
+from repro.experiments import rdma_comparison
+from benchmarks.conftest import emit, scaled
+
+
+def test_rdma_comparison(once):
+    result = once(rdma_comparison.run, fan_in=scaled(8), response_kb=64)
+    emit(result)
+    by = {r["protocol"]: r for r in result.rows}
+    for row in result.rows:
+        assert row["data_drops"] == 0
+        assert row["completed"] == scaled(8)
+    ep, dcqcn = by["expresspass"], by["dcqcn"]
+    assert ep["pfc_pauses"] == 0
+    assert dcqcn["pfc_pauses"] > 0
+    assert ep["max_queue_kb"] < 10
+    assert dcqcn["max_queue_kb"] > 5 * ep["max_queue_kb"]

@@ -1,0 +1,51 @@
+"""Simulator performance: event-loop and packet-forwarding throughput.
+
+Not a paper figure — these benches track the substrate's own speed so
+regressions in the hot path (event heap, port scheduler, ExpressPass
+feedback) show up in CI.  Unlike the figure benches these run multiple
+rounds for real statistics.
+"""
+
+from repro.core import ExpressPassFlow, ExpressPassParams
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, US
+from repro.topology import LinkSpec, dumbbell
+
+
+def test_event_loop_throughput(benchmark):
+    """Pure scheduler: a self-rescheduling timer chain."""
+
+    def run():
+        sim = Simulator(seed=0)
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 100_000:
+                sim.schedule(1000, tick)
+
+        sim.schedule(0, tick)
+        sim.run()
+        return state["n"]
+
+    assert benchmark(run) == 100_000
+
+
+def test_expresspass_packet_rate(benchmark):
+    """End-to-end protocol throughput: events/sec for a 2-flow dumbbell."""
+
+    def run():
+        sim = Simulator(seed=1)
+        topo = dumbbell(sim, n_pairs=2,
+                        bottleneck=LinkSpec(rate_bps=10 * GBPS,
+                                            prop_delay_ps=4 * US))
+        params = ExpressPassParams(rtt_hint_ps=40 * US)
+        flows = [ExpressPassFlow(s, r, None, params=params)
+                 for s, r in zip(topo.senders, topo.receivers)]
+        sim.run(until=5 * MS)
+        for f in flows:
+            f.stop()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events > 50_000  # ~5 ms of 10 G credit-scheduled traffic

@@ -1,0 +1,29 @@
+"""Table 1: zero-loss buffer bounds per port class (pure analysis).
+
+Paper values (KB): 10/40 -> ToR down 577.3, ToR up 19.0, core 131.1;
+40/100 -> 1060 / 37.2 / 221.8.  Both Eq. 1 readings are emitted: the
+conservative "literal" bound brackets the paper's ToR-down figure, the
+"tight" reading its ToR-up/core figures (see module docstring of
+repro.calculus.bounds).
+"""
+
+from repro.experiments import table1_buffer_bounds
+from benchmarks.conftest import emit
+
+
+def test_table1_buffer_bounds(once):
+    literal = once(table1_buffer_bounds.run, mode="literal")
+    tight = table1_buffer_bounds.run(mode="tight")
+    emit(literal)
+    emit(tight)
+
+    lit = literal.rows[0]  # 32-ary fat tree (10/40)
+    tgt = tight.rows[0]
+    # Shape criteria vs the paper's Table 1:
+    assert 0.7 * 577.3 < lit["tor_down_kb"] < 1.3 * 577.3
+    assert 0.8 * 19.0 < tgt["tor_up_kb"] < 1.2 * 19.0
+    # Ordering: ToR down needs by far the most buffer; ToR up the least.
+    for row in literal.rows + tight.rows:
+        assert row["tor_down_kb"] > row["tor_up_kb"]
+    # Sub-linear growth with link speed (paper §3.1).
+    assert literal.rows[1]["tor_down_kb"] < 4 * literal.rows[0]["tor_down_kb"]

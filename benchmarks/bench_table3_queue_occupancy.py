@@ -1,0 +1,37 @@
+"""Table 3: average / maximum queue occupancy across loads and protocols.
+
+Paper shape: ExpressPass's average queue is sub-KB and its maximum is a
+topology property (flat in load); RCP pegs the queue near capacity at all
+loads; DCTCP's queue grows with load; DX and HULL stay low.
+"""
+
+from repro.experiments import table3_queue_occupancy
+from benchmarks.conftest import emit, scaled
+
+
+def test_table3_queue_occupancy(once):
+    result = once(
+        table3_queue_occupancy.run,
+        protocols=("expresspass", "rcp", "dctcp", "dx", "hull"),
+        workloads=("web_search",),
+        loads=(0.2, 0.6),
+        n_flows=scaled(250),
+        size_cap_bytes=10_000_000,
+    )
+    emit(result)
+
+    def row(protocol, load):
+        return next(r for r in result.rows
+                    if r["protocol"] == protocol and r["load"] == load)
+
+    # ExpressPass: tiny averages, load-insensitive maximum, zero loss.
+    ep2, ep6 = row("expresspass", 0.2), row("expresspass", 0.6)
+    assert ep6["avg_queue_kb"] < 2.0
+    assert ep6["max_queue_kb"] < 2.5 * max(ep2["max_queue_kb"], 10)
+    assert ep6["data_drops"] == 0
+    # RCP's max queue dwarfs ExpressPass's at high load (pegged buffers).
+    assert row("rcp", 0.6)["max_queue_kb"] > 4 * ep6["max_queue_kb"]
+    # DCTCP queues more than ExpressPass on average.
+    assert row("dctcp", 0.6)["avg_queue_kb"] > ep6["avg_queue_kb"]
+    # DX and HULL keep small queues too (their design goal).
+    assert row("dx", 0.6)["max_queue_kb"] < row("rcp", 0.6)["max_queue_kb"]

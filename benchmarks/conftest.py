@@ -1,0 +1,51 @@
+"""Benchmark support: result emission and scaling.
+
+Each benchmark regenerates one of the paper's tables/figures at a scaled-down
+default (DESIGN.md §2).  The rendered table is written to
+``benchmarks/results/<name>.txt`` and printed (visible with ``pytest -s``);
+``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+
+Set ``REPRO_SCALE`` > 1 to enlarge the runs toward paper scale (flows,
+durations, and sweep sizes multiply where meaningful).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Global scale knob: 1 = CI-friendly defaults, larger = closer to the paper.
+SCALE = float(os.environ.get("REPRO_SCALE", "1"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """Scale an integer parameter by REPRO_SCALE."""
+    return max(minimum, int(n * SCALE))
+
+
+def emit(result) -> str:
+    """Render, persist, and print an ExperimentResult table."""
+    text = format_table(result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = "".join(c if c.isalnum() else "_" for c in result.name)[:80]
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the (expensive) experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return runner

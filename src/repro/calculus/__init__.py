@@ -1,0 +1,31 @@
+"""Network-calculus queue bounds (§3.1 "Ensuring zero data loss")."""
+
+from repro.calculus.bounds import (
+    BufferBounds,
+    ClassDelay,
+    TopologyParams,
+    buffer_bounds,
+    tor_switch_buffer_breakdown,
+)
+from repro.calculus.analysis import (
+    aggressiveness_at,
+    convergence_periods,
+    d_star,
+    eq34_trajectory,
+    steady_state_even,
+    steady_state_odd,
+)
+
+__all__ = [
+    "TopologyParams",
+    "ClassDelay",
+    "BufferBounds",
+    "buffer_bounds",
+    "tor_switch_buffer_breakdown",
+    "aggressiveness_at",
+    "convergence_periods",
+    "d_star",
+    "eq34_trajectory",
+    "steady_state_even",
+    "steady_state_odd",
+]

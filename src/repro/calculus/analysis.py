@@ -1,0 +1,103 @@
+"""Closed-form §4 analysis: Eq. 3–6 trajectories and steady-state bounds.
+
+The paper derives, for N synchronized flows after the system enters the
+alternating increase/decrease regime at t0:
+
+    R_n(t0 + 2k)     ≈ A(t0)^-k (1 - w_n)^k R_n(t0) + w_n C / (A - (1 - w_n))
+    R_n(t0 + 2k + 1) ≈ (1 - w_n(t0+2k)) R_n(t0+2k) + w_n(t0+2k) C      (Eq. 3/4)
+
+with A(t0) = 1 + Σ_i w_i (1 - R_i(t0)/C).  Once every w has decayed to
+w_min (time t_c):
+
+    R_n(t_c + 2k)     → C / N                                           (Eq. 5)
+    R_n(t_c + 2k + 1) → (C/N) (1 + (N-1) w_min)                         (Eq. 6)
+
+and the oscillation amplitude converges to D* = C w_min (1 - 1/N).
+
+This module evaluates those formulas so tests can check the *implemented*
+feedback loop (:mod:`repro.core.feedback`) against the *derived* behaviour —
+the reproduction of §4 "Analysis of ExpressPass".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def aggressiveness_at(k: int, w0: float, w_min: float) -> float:
+    """w after k decrease events: halves each time, floored at w_min."""
+    w = w0
+    for _ in range(k):
+        w = max(w / 2, w_min)
+    return w
+
+
+def eq34_trajectory(
+    initial_rates: Sequence[float],
+    w0: float,
+    periods: int,
+    capacity: float = 1.0,
+    target_loss: float = 0.1,
+    w_min: float = 0.01,
+) -> List[List[float]]:
+    """Evaluate the Eq. 3/4 recurrence directly (not the simulator).
+
+    Returns ``rates[t][n]`` for t in [0, periods).  Follows the paper's
+    alternating-phase model: even steps renormalize the aggregate to C
+    (decrease), odd steps apply the w-weighted pull toward C (increase),
+    with w halving every two periods down to w_min.
+    """
+    if not initial_rates:
+        raise ValueError("need at least one flow")
+    ceiling = capacity * (1 + target_loss)
+    rates = [list(initial_rates)]
+    w = [w0] * len(initial_rates)
+    for t in range(1, periods):
+        prev = rates[-1]
+        if t % 2 == 1:
+            # Increase phase (Eq. 4): R <- (1-w) R + w C.
+            cur = [(1 - wn) * r + wn * ceiling for wn, r in zip(w, prev)]
+        else:
+            # Decrease phase renormalizes the aggregate back to C (the
+            # derivation's R(t0+2k) step), then w halves.
+            total = sum(prev)
+            scale = ceiling / total if total > 0 else 1.0
+            cur = [r * scale for r in prev]
+            w = [max(wn / 2, w_min) for wn in w]
+        rates.append(cur)
+    return rates
+
+
+def steady_state_even(n_flows: int, capacity: float = 1.0,
+                      target_loss: float = 0.1) -> float:
+    """Eq. 5: the even-step fixed point C/N (C including the loss target)."""
+    if n_flows < 1:
+        raise ValueError("need at least one flow")
+    return capacity * (1 + target_loss) / n_flows
+
+
+def steady_state_odd(n_flows: int, w_min: float = 0.01, capacity: float = 1.0,
+                     target_loss: float = 0.1) -> float:
+    """Eq. 6: the odd-step fixed point (C/N)(1 + (N-1) w_min)."""
+    return steady_state_even(n_flows, capacity, target_loss) * (
+        1 + (n_flows - 1) * w_min)
+
+
+def d_star(n_flows: int, w_min: float = 0.01, capacity: float = 1.0,
+           target_loss: float = 0.1) -> float:
+    """The terminal oscillation amplitude D* = C w_min (1 - 1/N)."""
+    if n_flows < 1:
+        raise ValueError("need at least one flow")
+    return capacity * (1 + target_loss) * w_min * (1 - 1 / n_flows)
+
+
+def convergence_periods(w0: float, w_min: float) -> int:
+    """Periods until w reaches w_min (t_c - t0): w halves every 2 periods."""
+    if not 0 < w_min <= w0:
+        raise ValueError("need 0 < w_min <= w0")
+    k = 0
+    w = w0
+    while w > w_min:
+        w = max(w / 2, w_min)
+        k += 1
+    return 2 * k

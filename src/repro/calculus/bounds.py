@@ -1,0 +1,207 @@
+"""Zero-loss buffer bounds via the paper's delay-spread recursion (Eq. 1).
+
+For a credit ingress port *p*, the delay between a credit arriving and the
+corresponding data packet returning is::
+
+    d_p = d_credit + t(p, q) + d_q + d_data(q)
+
+where *q* ranges over the possible next-hop ingress ports N(p),
+``d_credit`` is the (egress) credit-queue delay — at most the carved queue
+capacity times one 1622 B credit slot — ``t`` is switching + transmission +
+propagation for the credit out and the data back, and ``d_data(q)``'s
+maximum is the next hop's delay spread ∆d_q.  The spread
+
+    ∆d_p = max(d_credit) + max_q(t + d_q + ∆d_q) − min_q(t + d_q)      (Eq. 1)
+
+is the worst-case duration of simultaneous data arrival at the port, so the
+zero-loss buffer is ``∆d_p × line rate``.
+
+We evaluate the recursion over the port *classes* of a 3-tier fat tree /
+Clos (host NIC, ToR↔agg, agg↔core), iterating bottom-up exactly as §3.1
+describes.  Two readings of Eq. 1 are implemented:
+
+* ``mode="literal"`` (default) — ``d_q`` in the max-branch is the next hop's
+  *maximum* delay, so the returning data's queueing (one ∆d per hop) stacks
+  along the path.  This is the conservative literal reading; its ToR-down
+  figure lands close to Table 1's (the binding requirement).
+* ``mode="tight"`` — ``d_q`` is the next hop's *minimum* delay everywhere
+  and only one ∆d_q term is added.  Its ToR-up and core figures land close
+  to Table 1's.
+
+The paper's exact per-class arithmetic is not published; EXPERIMENTS.md
+records both modes against Table 1 and checks the shape criteria (ToR down
+≫ core > ToR up; sub-linear growth in link speed; smaller credit queues and
+host spreads shrink the bound, Fig 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.net.packet import CREDIT_WIRE_MIN, DATA_WIRE_MAX
+from repro.sim.units import GBPS, US
+
+_CREDIT_SLOT_BYTES = CREDIT_WIRE_MIN + DATA_WIRE_MAX  # 1622 B per credit slot
+
+
+@dataclass(frozen=True)
+class TopologyParams:
+    """Parameters of a hierarchical (3-tier) topology for the recursion.
+
+    ``host_rate_bps`` is the server/ToR-edge link speed and
+    ``core_rate_bps`` the switch-to-switch (agg/core) speed — the paper's
+    "(link / core-link speed)" pairs.  Propagation defaults follow §3.1:
+    5 µs on core links, 1 µs elsewhere.
+    """
+
+    host_rate_bps: int = 10 * GBPS
+    core_rate_bps: int = 40 * GBPS
+    credit_queue_pkts: int = 8
+    host_delay_spread_ps: int = int(5.1 * US)  # testbed ∆d_host (Fig 14a)
+    edge_prop_ps: int = 1 * US
+    core_prop_ps: int = 5 * US
+
+    def credit_queue_delay_ps(self, rate_bps: int) -> int:
+        """Max credit-queue delay: capacity × one credit slot at the meter rate."""
+        return self.credit_queue_pkts * _CREDIT_SLOT_BYTES * 8 * 10**12 // rate_bps
+
+    def hop_ps(self, rate_bps: int, prop_ps: int) -> int:
+        """t(p, q): credit out + data back (transmission + propagation each)."""
+        tx = (CREDIT_WIRE_MIN + DATA_WIRE_MAX) * 8 * 10**12 // rate_bps
+        return tx + 2 * prop_ps
+
+
+@dataclass(frozen=True)
+class ClassDelay:
+    """Delay envelope of one credit-ingress port class (picoseconds)."""
+
+    d_min_ps: int
+    d_max_ps: int
+
+    @property
+    def spread_ps(self) -> int:
+        return self.d_max_ps - self.d_min_ps
+
+
+@dataclass(frozen=True)
+class BufferBounds:
+    """Per-port zero-loss buffer requirement in bytes (Table 1 columns)."""
+
+    tor_down_bytes: float
+    tor_up_bytes: float
+    core_bytes: float
+    spreads_ps: Dict[str, int]
+
+
+def _combine(params: TopologyParams, dcredit_ps: int, branches, mode: str) -> ClassDelay:
+    """Apply Eq. 1 over next-hop branches.
+
+    Each branch is ``(t_ps, child: ClassDelay)``.  ``literal`` stacks the
+    child's data-queueing spread on top of its max delay; ``tight`` measures
+    the spread from the child's min delay.
+    """
+    lows = [t + c.d_min_ps for t, c in branches]
+    if mode == "literal":
+        highs = [t + c.d_max_ps + c.spread_ps for t, c in branches]
+    elif mode == "tight":
+        highs = [t + c.d_min_ps + c.spread_ps for t, c in branches]
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return ClassDelay(min(lows), dcredit_ps + max(highs))
+
+
+def buffer_bounds(params: TopologyParams, mode: str = "literal") -> BufferBounds:
+    """Evaluate the recursion for a 3-tier fat tree / Clos.
+
+    Port classes, in credit-travel order (receiver NIC → ... → sender NIC):
+
+    * ``host``      — sender NIC: spread = ∆d_host.
+    * ``tor_from_agg`` — credits descending a ToR toward hosts; its spread
+      sizes the **ToR up** data buffer (data ascending the same port pair).
+    * ``agg_from_core`` / ``agg_from_tor`` — aggregation layer, both
+      directions.
+    * ``core_from_agg`` — credits turning around at a core switch; sizes the
+      **core** data buffer.
+    * ``tor_from_host`` — credits entering at the receiver-side ToR from a
+      host, with both intra-rack (host) and inter-pod (agg) continuations;
+      its spread sizes the **ToR down** data buffer and is the largest of
+      all (§3.1: "ToR downlink has the largest path length variance").
+    """
+    host = ClassDelay(0, params.host_delay_spread_ps)
+
+    t_edge_host = params.hop_ps(params.host_rate_bps, params.edge_prop_ps)
+    t_edge_sw = params.hop_ps(params.core_rate_bps, params.edge_prop_ps)
+    t_core = params.hop_ps(params.core_rate_bps, params.core_prop_ps)
+
+    dc_host_link = params.credit_queue_delay_ps(params.host_rate_bps)
+    dc_sw_link = params.credit_queue_delay_ps(params.core_rate_bps)
+
+    # Credits descending: ToR -> host (egress credit queue at host rate).
+    tor_from_agg = _combine(params, dc_host_link, [(t_edge_host, host)], mode)
+    # Aggregation switch forwarding credits down to a ToR.
+    agg_from_core = _combine(params, dc_sw_link, [(t_edge_sw, tor_from_agg)], mode)
+    # Core switch: the turn-around point of inter-pod credits.
+    core_from_agg = _combine(params, dc_sw_link, [(t_core, agg_from_core)], mode)
+    # Aggregation switch forwarding credits up (inter-pod) or down (intra-pod).
+    agg_from_tor = _combine(
+        params, dc_sw_link,
+        [(t_core, core_from_agg), (t_edge_sw, tor_from_agg)], mode,
+    )
+    # Receiver-side ToR: intra-rack (direct to host) or up through the fabric.
+    tor_from_host = _combine(
+        params, dc_sw_link,
+        [(t_edge_sw, agg_from_tor), (t_edge_host, host)], mode,
+    )
+
+    def to_bytes(spread_ps: int, rate_bps: int) -> float:
+        return spread_ps * rate_bps / (8 * 10**12)
+
+    return BufferBounds(
+        tor_down_bytes=to_bytes(tor_from_host.spread_ps, params.host_rate_bps),
+        tor_up_bytes=to_bytes(tor_from_agg.spread_ps, params.host_rate_bps),
+        core_bytes=to_bytes(core_from_agg.spread_ps, params.core_rate_bps),
+        spreads_ps={
+            "host": host.spread_ps,
+            "tor_from_agg": tor_from_agg.spread_ps,
+            "agg_from_core": agg_from_core.spread_ps,
+            "core_from_agg": core_from_agg.spread_ps,
+            "agg_from_tor": agg_from_tor.spread_ps,
+            "tor_from_host": tor_from_host.spread_ps,
+        },
+    )
+
+
+def tor_switch_buffer_breakdown(params: TopologyParams, k: int = 32,
+                                mode: str = "literal") -> Dict[str, float]:
+    """Fig 5: maximum total buffer for one ToR switch, by contributing source.
+
+    A k-ary fat-tree ToR has k/2 host-facing (down) and k/2 agg-facing (up)
+    ports.  The stacked-bar decomposition zeroes one contributor at a time:
+
+    * ``static_credit`` — the carved credit buffers themselves,
+    * ``host_delay``    — the share attributable to ∆d_host,
+    * ``credit_queue``  — the share attributable to credit-queue delay,
+    * ``base``          — what remains (propagation/transmission spread).
+    """
+    half = k // 2
+    full = buffer_bounds(params, mode)
+
+    def total(bounds: BufferBounds) -> float:
+        return half * (bounds.tor_down_bytes + bounds.tor_up_bytes)
+
+    no_host = buffer_bounds(replace(params, host_delay_spread_ps=0), mode)
+    # Zeroing the credit queue removes its delay contribution; the carved
+    # buffer itself is accounted separately below.
+    no_credit = buffer_bounds(replace(params, credit_queue_pkts=0), mode)
+    static_credit = k * params.credit_queue_pkts * CREDIT_WIRE_MIN
+    host_share = total(full) - total(no_host)
+    credit_share = total(full) - total(no_credit)
+    base = max(total(full) - host_share - credit_share, 0.0)
+    return {
+        "total": total(full) + static_credit,
+        "static_credit": static_credit,
+        "host_delay": host_share,
+        "credit_queue": credit_share,
+        "base": base,
+    }

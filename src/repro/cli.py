@@ -1,0 +1,140 @@
+"""Command-line interface: reproduce any of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig10
+    python -m repro run fig15 --set flow_counts=4,16 --set measure_ps=20000000000
+    python -m repro run table1 --json
+
+``--set key=value`` overrides a keyword argument of the experiment's
+``run`` function; values are parsed as ints, floats, comma-separated tuples,
+or protocol-name tuples as appropriate (best effort: int, then float, then
+comma-split, then string).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import format_table
+
+
+def _registry() -> Dict[str, Callable]:
+    from repro.experiments import (
+        fig01_queue_buildup,
+        fig02_naive_convergence,
+        fig06_jitter,
+        fig08_initial_rate,
+        fig09_credit_queue,
+        fig10_parking_lot,
+        fig11_multibottleneck,
+        fig12_steady_state,
+        fig13_convergence_behavior,
+        fig14_host_jitter,
+        fig15_flow_scalability,
+        fig16_link_speed_convergence,
+        fig17_shuffle,
+        fig18_param_sensitivity,
+        fig19_realistic_fct,
+        fig20_credit_waste,
+        fig21_speedup,
+        table1_buffer_bounds,
+        table3_queue_occupancy,
+        ablations,
+        incast_closed_loop,
+        rdma_comparison,
+        summary,
+    )
+
+    return {
+        "summary": summary.run,
+        "rdma": rdma_comparison.run,
+        "incast": incast_closed_loop.run,
+        "ablate-symmetry": ablations.run_symmetry_ablation,
+        "ablate-burst": ablations.run_opportunistic_ablation,
+        "fig1": fig01_queue_buildup.run,
+        "fig2": fig02_naive_convergence.run,
+        "fig5": table1_buffer_bounds.run_fig5,
+        "fig6": fig06_jitter.run,
+        "fig8": fig08_initial_rate.run,
+        "fig9": fig09_credit_queue.run,
+        "fig10": fig10_parking_lot.run,
+        "fig11": fig11_multibottleneck.run,
+        "fig12": fig12_steady_state.run,
+        "fig13": fig13_convergence_behavior.run,
+        "fig14a": fig14_host_jitter.run_host_delay,
+        "fig14b": fig14_host_jitter.run_inter_credit_gap,
+        "fig15": fig15_flow_scalability.run,
+        "fig16": fig16_link_speed_convergence.run,
+        "fig17": fig17_shuffle.run,
+        "fig18": fig18_param_sensitivity.run,
+        "fig19": fig19_realistic_fct.run,
+        "fig20": fig20_credit_waste.run,
+        "fig21": fig21_speedup.run,
+        "table1": table1_buffer_bounds.run,
+        "table3": table3_queue_occupancy.run,
+    }
+
+
+def _parse_value(raw: str):
+    """Best-effort literal parsing for --set values."""
+    if "," in raw:
+        return tuple(_parse_value(part) for part in raw.split(",") if part)
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    return raw
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce ExpressPass (SIGCOMM 2017) experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment and print its table")
+    runp.add_argument("experiment", help="experiment id, e.g. fig10 or table1")
+    runp.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                      help="override a run(...) keyword argument")
+    runp.add_argument("--json", action="store_true",
+                      help="emit rows as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    registry = _registry()
+    if args.command == "list":
+        for name in sorted(registry, key=lambda n: (len(n), n)):
+            doc = (sys.modules[registry[name].__module__].__doc__ or "")
+            summary = doc.strip().splitlines()[0] if doc else ""
+            print(f"{name:8s} {summary}")
+        return 0
+
+    if args.experiment not in registry:
+        parser.error(f"unknown experiment {args.experiment!r}; "
+                     f"try: {', '.join(sorted(registry))}")
+    overrides = {}
+    for item in args.set:
+        if "=" not in item:
+            parser.error(f"--set expects KEY=VALUE, got {item!r}")
+        key, _, raw = item.partition("=")
+        overrides[key] = _parse_value(raw)
+
+    result = registry[args.experiment](**overrides)
+    if args.json:
+        print(json.dumps({"name": result.name, "rows": result.rows,
+                          "meta": result.meta}, indent=2, default=str))
+    else:
+        print(format_table(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

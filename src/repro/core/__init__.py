@@ -1,0 +1,28 @@
+"""ExpressPass: credit-scheduled, delay-bounded congestion control (§3).
+
+Public surface:
+
+* :class:`~repro.core.params.ExpressPassParams` — every §3.2/§3.3 knob
+  (initial rate α, w_init, w_min, target loss, jitter, credit-size
+  randomization, naive mode).
+* :class:`~repro.core.feedback.CreditFeedbackControl` — Algorithm 1, as a
+  pure object that unit tests and the Fig 12 analysis drive directly.
+* :class:`~repro.core.flow.ExpressPassFlow` — the end-to-end protocol:
+  credit-request handshake, receiver-side credit pacing with jitter,
+  sender-side credit-triggered data, CREDIT_STOP teardown, credit-waste
+  accounting.
+"""
+
+from repro.core.feedback import CreditFeedbackControl
+from repro.core.flow import ExpressPassFlow, max_credit_rate_cps
+from repro.core.params import ExpressPassParams
+from repro.core.states import ReceiverState, SenderState
+
+__all__ = [
+    "ExpressPassParams",
+    "CreditFeedbackControl",
+    "ExpressPassFlow",
+    "max_credit_rate_cps",
+    "SenderState",
+    "ReceiverState",
+]

@@ -1,0 +1,76 @@
+"""Algorithm 1: credit feedback control at the receiver.
+
+This is a *pure* controller — no simulator dependencies — so the unit tests,
+the stability analysis of §4, and the Fig 12 steady-state experiment can all
+drive it directly with synthetic loss observations.
+
+State: the current credit sending rate ``cur_rate`` (credits/s, any unit —
+only ratios against ``max_rate`` matter) and the aggressiveness factor ``w``.
+
+Per update period (one RTT by default)::
+
+    credit_loss = #credit_dropped / #credit_sent
+    if credit_loss <= target_loss:            # increasing phase
+        if previous phase was increasing:
+            w = (w + w_max) / 2
+        cur_rate = (1 - w) * cur_rate + w * max_rate * (1 + target_loss)
+    else:                                     # decreasing phase
+        cur_rate = cur_rate * (1 - credit_loss) * (1 + target_loss)
+        w = max(w / 2, w_min)
+"""
+
+from __future__ import annotations
+
+from repro.core.params import ExpressPassParams
+
+
+class CreditFeedbackControl:
+    """One flow's Algorithm-1 state."""
+
+    __slots__ = ("params", "max_rate", "cur_rate", "w", "_prev_increasing",
+                 "updates", "increases", "decreases")
+
+    def __init__(self, params: ExpressPassParams, max_rate: float):
+        if max_rate <= 0:
+            raise ValueError("max_rate must be positive")
+        self.params = params
+        self.max_rate = max_rate
+        if params.naive:
+            self.cur_rate = max_rate
+        else:
+            self.cur_rate = params.initial_rate_fraction * max_rate
+        self.w = params.w_init
+        self._prev_increasing = False
+        self.updates = 0
+        self.increases = 0
+        self.decreases = 0
+
+    @property
+    def ceiling(self) -> float:
+        """C = max_rate * (1 + target_loss): the rate the increase aims at."""
+        return self.max_rate * (1 + self.params.target_loss)
+
+    def update(self, credit_loss: float) -> float:
+        """Apply one feedback period with the observed loss; returns the new rate."""
+        if credit_loss < 0 or credit_loss > 1:
+            raise ValueError(f"credit_loss must be in [0, 1], got {credit_loss}")
+        p = self.params
+        self.updates += 1
+        if p.naive:
+            self.cur_rate = self.max_rate
+            return self.cur_rate
+        if credit_loss <= p.target_loss:
+            if self._prev_increasing:
+                self.w = (self.w + p.w_max) / 2
+            self.cur_rate = (1 - self.w) * self.cur_rate + self.w * self.ceiling
+            self._prev_increasing = True
+            self.increases += 1
+        else:
+            self.cur_rate = self.cur_rate * (1 - credit_loss) * (1 + p.target_loss)
+            self.w = max(self.w / 2, p.w_min)
+            self._prev_increasing = False
+            self.decreases += 1
+        # The credit rate can never usefully exceed the link's credit ceiling,
+        # and must stay positive so the pacer's inter-credit gap is finite.
+        self.cur_rate = min(max(self.cur_rate, 1e-3 * self.max_rate), self.ceiling)
+        return self.cur_rate

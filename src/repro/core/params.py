@@ -1,0 +1,69 @@
+"""ExpressPass configuration (§3.2 "Credit Feedback Control", §3.3 knobs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.units import US
+
+
+@dataclass(frozen=True)
+class ExpressPassParams:
+    """All protocol parameters, with the paper's defaults.
+
+    ``initial_rate_fraction`` is the paper's α: the first-period credit rate
+    as a fraction of ``max_rate``.  The paper's microbenchmarks use
+    α = w_init = 1/2; realistic workloads use 1/16 (§6.3, the "sweet spot").
+    """
+
+    initial_rate_fraction: float = 0.5          # α
+    w_init: float = 0.5
+    w_max: float = 0.5
+    w_min: float = 0.01
+    target_loss: float = 0.1
+    # Credit pacing jitter as a fraction of the inter-credit gap (Fig 6a:
+    # j >= 0.01-0.02 suffices to break drop synchronization).
+    jitter: float = 0.02
+    randomize_credit_size: bool = True          # 84..92 B credits (§3.1)
+    naive: bool = False                         # no feedback: always max_rate
+    # Feedback update period: defaults to the measured RTT (paper default).
+    # ``rtt_hint_ps`` seeds the estimate before any measurement exists.
+    rtt_hint_ps: int = 100 * US
+    # Sender sends CREDIT_STOP after this long with nothing to send.
+    stop_timeout_ps: int = 20 * US
+    # §7 / RC3-style extension: number of segments a sender may transmit as
+    # *low-priority* data immediately at flow start, without credits.
+    # Switches serve them strictly below credited data, so they only use
+    # bandwidth that would otherwise be idle; losses are recovered through
+    # the normal go-back-N resync.  0 disables the extension (paper default).
+    opportunistic_segments: int = 0
+    # Credit-loss estimator window: the loss rate fed to Algorithm 1 is
+    # measured over the most recent ``loss_window`` credits whose fate is
+    # known.  In the sub-credit-per-RTT regime (§2) a per-period sample is a
+    # coin flip; a credit-count window adapts its timescale to the flow's own
+    # rate (short for fast flows, smoothing for slow ones).
+    loss_window: int = 16
+
+    def __post_init__(self):
+        if not 0 < self.initial_rate_fraction <= 1:
+            raise ValueError("initial_rate_fraction must be in (0, 1]")
+        if not 0 < self.w_min <= self.w_init <= self.w_max <= 0.5:
+            raise ValueError("need 0 < w_min <= w_init <= w_max <= 0.5")
+        if not 0 <= self.target_loss < 1:
+            raise ValueError("target_loss must be in [0, 1)")
+        if self.jitter < 0 or self.jitter > 1:
+            raise ValueError("jitter fraction must be in [0, 1]")
+
+    def with_alpha(self, alpha: float, w_init: float = None) -> "ExpressPassParams":
+        """Convenience for the Fig 8/18 sweeps: vary α (and optionally w_init)."""
+        return replace(
+            self,
+            initial_rate_fraction=alpha,
+            w_init=self.w_init if w_init is None else w_init,
+        )
+
+
+#: §6.3: the sweet spot for realistic workloads.
+REALISTIC_WORKLOAD_PARAMS = ExpressPassParams(
+    initial_rate_fraction=1 / 16, w_init=1 / 16
+)

@@ -1,0 +1,50 @@
+"""Sender/receiver state machines (paper Fig 7).
+
+Transitions are enforced at runtime: an illegal transition raises, and the
+unit tests walk every legal path.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+
+class SenderState(Enum):
+    IDLE = auto()
+    CREQ_SENT = auto()          # CREDIT_REQUEST sent, waiting for first credit
+    CREDIT_RECEIVING = auto()   # receiving credits, sending data
+    CSTOP_SENT = auto()         # CREDIT_STOP sent
+    CLOSED = auto()
+
+
+class ReceiverState(Enum):
+    IDLE = auto()
+    CREDIT_SENDING = auto()     # pacing credits toward the sender
+    STOPPED = auto()            # CREDIT_STOP received (or closed)
+
+
+_SENDER_LEGAL = {
+    (SenderState.IDLE, SenderState.CREQ_SENT),
+    (SenderState.CREQ_SENT, SenderState.CREDIT_RECEIVING),
+    (SenderState.CREQ_SENT, SenderState.CREQ_SENT),        # request retransmit
+    (SenderState.CREDIT_RECEIVING, SenderState.CSTOP_SENT),
+    (SenderState.CSTOP_SENT, SenderState.CSTOP_SENT),      # stop retransmit
+    (SenderState.CSTOP_SENT, SenderState.CREDIT_RECEIVING),  # new data arrived
+    (SenderState.CSTOP_SENT, SenderState.CLOSED),
+}
+
+_RECEIVER_LEGAL = {
+    (ReceiverState.IDLE, ReceiverState.CREDIT_SENDING),
+    (ReceiverState.CREDIT_SENDING, ReceiverState.STOPPED),
+    (ReceiverState.IDLE, ReceiverState.STOPPED),
+}
+
+
+def check_sender_transition(old: SenderState, new: SenderState) -> None:
+    if (old, new) not in _SENDER_LEGAL:
+        raise RuntimeError(f"illegal sender transition {old.name} -> {new.name}")
+
+
+def check_receiver_transition(old: ReceiverState, new: ReceiverState) -> None:
+    if (old, new) not in _RECEIVER_LEGAL:
+        raise RuntimeError(f"illegal receiver transition {old.name} -> {new.name}")

@@ -1,0 +1,32 @@
+"""Experiment harness: one module per reproduced figure/table.
+
+Every experiment module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.runner.ExperimentResult` whose rows print as the
+same table/series the paper reports.  Benchmarks under ``benchmarks/`` are
+thin wrappers that call these with scaled-down defaults (see DESIGN.md §2
+for the scaling substitution); pass larger parameters to approach paper
+scale.
+"""
+
+from repro.experiments.runner import (
+    PROTOCOLS,
+    ExperimentResult,
+    ProtocolHarness,
+    format_table,
+    get_harness,
+)
+
+from repro.experiments import (  # noqa: F401  (re-exported experiment modules)
+    ablations,
+    rdma_comparison,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ProtocolHarness",
+    "PROTOCOLS",
+    "get_harness",
+    "format_table",
+    "ablations",
+    "rdma_comparison",
+]

@@ -1,0 +1,99 @@
+"""Ablations of ExpressPass design choices (§3.1, §7).
+
+* :func:`run_symmetry_ablation` — what breaks without symmetric routing:
+  credit and data paths decouple on a multipath fabric, so the credit
+  metering on one path no longer schedules the data on another; queues grow
+  and data loss becomes possible (§3.1's motivation for symmetric hashing).
+* :func:`run_opportunistic_ablation` — what the §7 RC3-style low-priority
+  burst buys: small flows skip the credit-request round trip, cutting their
+  FCT, without displacing credited traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.core import ExpressPassFlow, ExpressPassParams
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.fct import FctStats
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, SEC, US
+from repro.topology import LinkSpec, fat_tree
+from repro.workloads import poisson_specs, WORKLOADS
+
+
+def run_symmetry_ablation(
+    k: int = 4,
+    n_flows: int = 150,
+    load: float = 0.7,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Random traffic on a k-ary fat tree, with and without path symmetry."""
+    rows = []
+    dist = WORKLOADS["web_server"]
+    for symmetric in (True, False):
+        sim = Simulator(seed=seed)
+        ft = fat_tree(sim, k, edge=LinkSpec(rate_bps=10 * GBPS,
+                                            prop_delay_ps=2 * US))
+        params = ExpressPassParams(rtt_hint_ps=50 * US)
+        hosts = ft.hosts
+        # Load the fabric's edge links with Poisson arrivals.
+        rate_fps = load * 10e9 / (dist.mean_bytes * 8)
+        specs = poisson_specs(sim.rng("ablate"), dist, n_flows, len(hosts),
+                              rate_fps * len(hosts) / 4)
+        flows = [
+            ExpressPassFlow(hosts[s.src], hosts[s.dst], s.size_bytes,
+                            start_ps=s.start_ps, params=params,
+                            symmetric_routing=symmetric)
+            for s in specs
+        ]
+        sim.run(until=specs[-1].start_ps + 1 * SEC)
+        fcts = [f.fct_ps for f in flows if f.completed]
+        rows.append({
+            "routing": "symmetric" if symmetric else "asymmetric",
+            "completed": len(fcts),
+            "max_queue_kb": ft.net.max_data_queue_bytes() / 1e3,
+            "data_drops": ft.net.total_data_drops(),
+            "p99_fct_ms": (FctStats.from_fcts_ps(fcts).p99_s * 1e3
+                           if fcts else None),
+        })
+    return ExperimentResult(
+        name="Ablation: path symmetry on a fat tree (§3.1)",
+        columns=["routing", "completed", "max_queue_kb", "data_drops",
+                 "p99_fct_ms"],
+        rows=rows,
+    )
+
+
+def run_opportunistic_ablation(
+    burst_sizes: Sequence[int] = (0, 4, 16),
+    n_flows: int = 200,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Small-flow FCT with increasing opportunistic burst budgets (§7)."""
+    from repro.experiments.realistic import run_realistic
+
+    rows = []
+    for burst in burst_sizes:
+        params = ExpressPassParams(rtt_hint_ps=60 * US,
+                                   initial_rate_fraction=1 / 16,
+                                   w_init=1 / 16,
+                                   opportunistic_segments=burst)
+        result = run_realistic("expresspass", "web_server", 0.4, n_flows,
+                               seed=seed, ep_params=params)
+        s = result.fct_by_bucket.get("S")
+        m = result.fct_by_bucket.get("M")
+        rows.append({
+            "burst_segments": burst,
+            "S_avg_fct_us": s.mean_s * 1e6 if s else None,
+            "M_avg_fct_us": m.mean_s * 1e6 if m else None,
+            "data_drops": result.data_drops,
+            "completed": result.completed,
+        })
+    return ExperimentResult(
+        name="Ablation: opportunistic low-priority burst (§7 extension)",
+        columns=["burst_segments", "S_avg_fct_us", "M_avg_fct_us",
+                 "data_drops", "completed"],
+        rows=rows,
+    )

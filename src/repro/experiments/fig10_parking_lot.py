@@ -1,0 +1,69 @@
+"""Fig 10: parking-lot utilization — naive credits vs the feedback loop.
+
+One long flow crosses N bottlenecks, each also carrying a one-hop cross
+flow.  With naive max-rate credits, upstream links carry credits that will
+be dropped downstream, wasting reverse-path bandwidth: utilization of the
+worst link drops to 83.3 % with two bottlenecks and ~60 % with six.  The
+feedback loop keeps every link ≳97 %.
+
+Utilization is normalized to the maximum *data* rate (excluding the credit
+reservation), as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import ExpressPassParams
+from repro.experiments.runner import ExperimentResult, get_harness
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, US
+from repro.topology import LinkSpec, parking_lot
+
+
+def run_point(
+    n_bottlenecks: int,
+    naive: bool,
+    rate_bps: int = 10 * GBPS,
+    warmup_ps: int = 30 * MS,
+    measure_ps: int = 50 * MS,
+    seed: int = 1,
+) -> dict:
+    sim = Simulator(seed=seed)
+    base_rtt = 40 * US
+    protocol = "expresspass-naive" if naive else "expresspass"
+    harness = get_harness(protocol, rate_bps, base_rtt,
+                          ExpressPassParams(rtt_hint_ps=base_rtt))
+    spec = LinkSpec(rate_bps=rate_bps, prop_delay_ps=2 * US)
+    topo = parking_lot(sim, n_bottlenecks, link=spec)
+
+    harness.flow(topo.long_src, topo.long_dst, None)
+    for src, dst in zip(topo.cross_srcs, topo.cross_dsts):
+        harness.flow(src, dst, None)
+
+    sim.run(until=warmup_ps)
+    base = [p.stats.data_bytes_sent for p in topo.bottleneck_ports]
+    sim.run(until=warmup_ps + measure_ps)
+    seconds = measure_ps / 1e12
+    max_data = rate_bps * 1538 / 1626  # credit reservation excluded
+    utils = [
+        (p.stats.data_bytes_sent - b) * 8 / seconds / max_data
+        for p, b in zip(topo.bottleneck_ports, base)
+    ]
+    return {
+        "bottlenecks": n_bottlenecks,
+        "mode": "naive" if naive else "feedback",
+        "min_link_utilization": min(utils),
+    }
+
+
+def run(counts: Sequence[int] = (1, 2, 3, 4, 5, 6), **kwargs) -> ExperimentResult:
+    rows = []
+    for n in counts:
+        for naive in (True, False):
+            rows.append(run_point(n, naive, **kwargs))
+    return ExperimentResult(
+        name="Fig 10 parking-lot utilization (worst link, normalized to max data rate)",
+        columns=["bottlenecks", "mode", "min_link_utilization"],
+        rows=rows,
+    )

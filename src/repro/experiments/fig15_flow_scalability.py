@@ -1,0 +1,70 @@
+"""Fig 15: utilization / fairness / max queue vs number of concurrent flows.
+
+N long-running flow pairs share one 10 G bottleneck.  The paper's findings:
+ExpressPass holds ≈95 % utilization (the credit reservation), near-perfect
+fairness, and a max queue of a few KB regardless of N; DCTCP's fairness
+collapses past ~64 flows (window floor of 2) with queue growing toward
+capacity; RCP under-utilizes and overflows beyond a few hundred flows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import ExpressPassParams
+from repro.experiments.runner import ExperimentResult, get_harness
+from repro.metrics import jain_index
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, US
+from repro.topology import LinkSpec, dumbbell
+
+
+def run_point(
+    protocol: str,
+    n_flows: int,
+    rate_bps: int = 10 * GBPS,
+    warmup_ps: int = 50 * MS,
+    measure_ps: int = 50 * MS,
+    seed: int = 1,
+    ep_params: Optional[ExpressPassParams] = None,
+) -> dict:
+    """One (protocol, N) cell: run, then measure over the steady window."""
+    sim = Simulator(seed=seed)
+    base_rtt = 30 * US
+    harness = get_harness(protocol, rate_bps, base_rtt, ep_params)
+    spec = harness.adapt_link(LinkSpec(rate_bps=rate_bps, prop_delay_ps=4 * US))
+    topo = dumbbell(sim, n_pairs=n_flows, bottleneck=spec)
+    harness.install(sim, topo.net)
+    flows = [harness.flow(s, r, None) for s, r in zip(topo.senders, topo.receivers)]
+
+    sim.run(until=warmup_ps)
+    base = {f: f.bytes_delivered for f in flows}
+    sim.run(until=warmup_ps + measure_ps)
+    seconds = measure_ps / 1e12
+    rates = [(f.bytes_delivered - base[f]) * 8 / seconds for f in flows]
+    return {
+        "protocol": protocol,
+        "flows": n_flows,
+        "utilization": sum(rates) / rate_bps,
+        "fairness": jain_index(rates),
+        "max_queue_kb": topo.net.max_data_queue_bytes() / 1e3,
+        "data_drops": topo.net.total_data_drops(),
+    }
+
+
+def run(
+    protocols: Sequence[str] = ("expresspass", "dctcp", "rcp"),
+    flow_counts: Sequence[int] = (4, 16, 64, 256),
+    **kwargs,
+) -> ExperimentResult:
+    rows = [
+        run_point(protocol, n, **kwargs)
+        for protocol in protocols
+        for n in flow_counts
+    ]
+    return ExperimentResult(
+        name="Fig 15 flow scalability (utilization / fairness / max queue)",
+        columns=["protocol", "flows", "utilization", "fairness",
+                 "max_queue_kb", "data_drops"],
+        rows=rows,
+    )

@@ -1,0 +1,49 @@
+"""Fig 18: sensitivity of 99th-percentile FCT to α and w_init.
+
+Sweeping (α, w_init) from (1/2, 1/2) down to (1/32, 1/32) trades short-flow
+FCT (worse at lower α: slower start) against large-flow FCT (better: fewer
+wasted credits stealing bandwidth).  The paper picks (1/16, 1/16) as the
+sweet spot for realistic workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core import ExpressPassParams
+from repro.experiments.realistic import run_realistic
+from repro.experiments.runner import ExperimentResult
+
+#: (α, w_init) pairs along the paper's x-axis.
+DEFAULT_SWEEP: Tuple[Tuple[float, float], ...] = (
+    (1 / 2, 1 / 2),
+    (1 / 16, 1 / 2),
+    (1 / 16, 1 / 16),
+    (1 / 32, 1 / 16),
+    (1 / 32, 1 / 32),
+)
+
+
+def run(
+    sweep: Sequence[Tuple[float, float]] = DEFAULT_SWEEP,
+    workload: str = "cache_follower",
+    load: float = 0.6,
+    n_flows: int = 1000,
+    **kwargs,
+) -> ExperimentResult:
+    rows = []
+    for alpha, w_init in sweep:
+        params = ExpressPassParams(initial_rate_fraction=alpha, w_init=w_init)
+        result = run_realistic("expresspass", workload, load, n_flows,
+                               ep_params=params, **kwargs)
+        row = {"alpha": f"1/{round(1 / alpha)}", "w_init": f"1/{round(1 / w_init)}"}
+        for bucket in ("S", "L"):
+            stats = result.fct_by_bucket.get(bucket)
+            row[f"p99_fct_{bucket}_ms"] = stats.p99_s * 1e3 if stats else None
+        row["credit_waste"] = result.credit_waste_ratio
+        rows.append(row)
+    return ExperimentResult(
+        name=f"Fig 18 (α, w_init) sensitivity — p99 FCT ({workload}, load {load})",
+        columns=["alpha", "w_init", "p99_fct_S_ms", "p99_fct_L_ms", "credit_waste"],
+        rows=rows,
+    )

@@ -1,0 +1,46 @@
+"""Fig 20: credit-waste ratio by workload, link speed, and α.
+
+Credit waste grows as the average flow size shrinks (Web Server worst) and
+as the BDP grows (40 G worse than 10 G); dropping α to 1/16 roughly halves
+it.  The ratio is measured at senders: wasted / (wasted + used).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import ExpressPassParams
+from repro.experiments.realistic import run_realistic
+from repro.experiments.runner import ExperimentResult
+from repro.sim.units import GBPS
+
+
+def run(
+    workloads: Sequence[str] = ("data_mining", "web_search",
+                                "cache_follower", "web_server"),
+    speeds_gbps: Sequence[int] = (10, 40),
+    alphas: Sequence[float] = (1 / 2, 1 / 16),
+    load: float = 0.6,
+    n_flows: int = 800,
+    **kwargs,
+) -> ExperimentResult:
+    rows = []
+    for workload in workloads:
+        for gbps in speeds_gbps:
+            for alpha in alphas:
+                params = ExpressPassParams().with_alpha(alpha, alpha)
+                result = run_realistic(
+                    "expresspass", workload, load, n_flows,
+                    rate_bps=gbps * GBPS, ep_params=params, **kwargs,
+                )
+                rows.append({
+                    "workload": workload,
+                    "rate_gbps": gbps,
+                    "alpha": f"1/{round(1 / alpha)}",
+                    "credit_waste": result.credit_waste_ratio,
+                })
+    return ExperimentResult(
+        name=f"Fig 20 credit-waste ratio (load {load})",
+        columns=["workload", "rate_gbps", "alpha", "credit_waste"],
+        rows=rows,
+    )

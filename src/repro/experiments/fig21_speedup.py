@@ -1,0 +1,49 @@
+"""Fig 21: average-FCT speed-up from upgrading 10 G links to 40 G.
+
+Per size bucket and protocol: larger flows gain the most from bandwidth
+(small-flow FCT is RTT-bound).  ExpressPass posts the largest gains for
+most buckets (fast convergence exploits the new capacity immediately);
+RCP leads for the Web Server's large flows (aggressive start, no credit
+waste); DX/HULL gain least (least aggressive).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import ExpressPassParams
+from repro.core.params import REALISTIC_WORKLOAD_PARAMS
+from repro.experiments.realistic import run_realistic
+from repro.experiments.runner import ExperimentResult
+from repro.sim.units import GBPS
+
+
+def run(
+    protocols: Sequence[str] = ("expresspass", "rcp", "dctcp", "dx", "hull"),
+    workload: str = "web_search",
+    load: float = 0.6,
+    n_flows: int = 800,
+    ep_params: Optional[ExpressPassParams] = REALISTIC_WORKLOAD_PARAMS,
+    **kwargs,
+) -> ExperimentResult:
+    rows = []
+    for protocol in protocols:
+        params = ep_params if protocol.startswith("expresspass") else None
+        slow = run_realistic(protocol, workload, load, n_flows,
+                             rate_bps=10 * GBPS, ep_params=params, **kwargs)
+        fast = run_realistic(protocol, workload, load, n_flows,
+                             rate_bps=40 * GBPS, ep_params=params, **kwargs)
+        for bucket in ("S", "M", "L", "XL"):
+            a, b = slow.fct_by_bucket.get(bucket), fast.fct_by_bucket.get(bucket)
+            if a is None or b is None or b.mean_s == 0:
+                continue
+            rows.append({
+                "protocol": protocol,
+                "bucket": bucket,
+                "speedup_avg_fct": a.mean_s / b.mean_s,
+            })
+    return ExperimentResult(
+        name=f"Fig 21 avg-FCT speed-up of 40G over 10G ({workload}, load {load})",
+        columns=["protocol", "bucket", "speedup_avg_fct"],
+        rows=rows,
+    )

@@ -1,0 +1,218 @@
+"""Shared experiment plumbing: protocol harnesses and result tables.
+
+A :class:`ProtocolHarness` hides the per-protocol differences the
+experiments must not care about — which LinkSpec knobs to set (ECN marking
+for DCTCP/HULL), what to install on the fabric after it is built (RCP link
+controllers, HULL phantom queues, the ideal oracle), and how to construct a
+flow.  ``get_harness(name, ...)`` is the registry; every figure/table
+experiment builds its traffic through it so that all protocols see identical
+topologies and arrival sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core import ExpressPassFlow, ExpressPassParams
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+from repro.topology.network import LinkSpec, Network
+from repro.net.pfc import install_pfc
+from repro.transport import (
+    CubicFlow,
+    DcqcnFlow,
+    DctcpFlow,
+    DxFlow,
+    HullFlow,
+    IdealFlow,
+    OracleRateController,
+    RcpFlow,
+    RenoFlow,
+    TimelyFlow,
+    install_dcqcn_marking,
+    install_phantom_queues,
+    install_rcp,
+)
+from repro.transport.dctcp import dctcp_gain, dctcp_marking_threshold_bytes
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: named rows ready for printing."""
+
+    name: str
+    columns: List[str]
+    rows: List[dict]
+    meta: dict = field(default_factory=dict)
+
+    def column(self, key: str) -> list:
+        return [row.get(key) for row in self.rows]
+
+
+def format_table(result: ExperimentResult, float_fmt: str = "{:.4g}") -> str:
+    """Render an ExperimentResult as an aligned text table."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    header = result.columns
+    body = [[fmt(row.get(col, "")) for col in header] for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "== " + result.name + " ==",
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+class ProtocolHarness:
+    """Per-protocol glue; see module docstring."""
+
+    def __init__(
+        self,
+        name: str,
+        flow_factory: Callable,
+        link_mutator: Optional[Callable[[LinkSpec], LinkSpec]] = None,
+        post_build: Optional[Callable[[Simulator, Network], None]] = None,
+        flow_kwargs: Optional[dict] = None,
+    ):
+        self.name = name
+        self._flow_factory = flow_factory
+        self._link_mutator = link_mutator
+        self._post_build = post_build
+        self._flow_kwargs = flow_kwargs or {}
+
+    def adapt_link(self, spec: LinkSpec) -> LinkSpec:
+        """Apply protocol-required LinkSpec changes (e.g. ECN threshold)."""
+        return self._link_mutator(spec) if self._link_mutator else spec
+
+    def install(self, sim: Simulator, net: Network) -> None:
+        """Install fabric-side components (RCP controllers, phantom queues)."""
+        if self._post_build:
+            self._post_build(sim, net)
+
+    def flow(self, src: Host, dst: Host, size_bytes: Optional[int],
+             start_ps: int = 0, **overrides):
+        kwargs = dict(self._flow_kwargs)
+        kwargs.update(overrides)
+        return self._flow_factory(src, dst, size_bytes, start_ps, **kwargs)
+
+
+PROTOCOLS = (
+    "expresspass",
+    "expresspass-naive",
+    "dctcp",
+    "rcp",
+    "hull",
+    "dx",
+    "reno",
+    "cubic",
+    "ideal",
+    "dcqcn",   # RDMA baselines (§8): run over a PFC lossless fabric
+    "timely",
+)
+
+
+def get_harness(
+    name: str,
+    link_rate_bps: int,
+    base_rtt_ps: int = 100 * US,
+    ep_params: Optional[ExpressPassParams] = None,
+    min_rto_ps: Optional[int] = None,
+) -> ProtocolHarness:
+    """Build the harness for ``name`` (one of :data:`PROTOCOLS`).
+
+    ``link_rate_bps`` sizes protocol constants that scale with speed (DCTCP
+    K and g, HULL's marking threshold); ``base_rtt_ps`` seeds RTT-derived
+    timers (ExpressPass update period hint, RCP's control interval).
+    """
+    if name in ("expresspass", "expresspass-naive"):
+        params = ep_params or ExpressPassParams()
+        params = replace(params, naive=(name == "expresspass-naive"),
+                         rtt_hint_ps=base_rtt_ps)
+        return ProtocolHarness(
+            name,
+            lambda s, d, size, t0, **kw: ExpressPassFlow(
+                s, d, size, t0, params=kw.pop("params", params), **kw),
+        )
+
+    window_kwargs = {}
+    if min_rto_ps is not None:
+        window_kwargs["min_rto_ps"] = min_rto_ps
+
+    if name == "dctcp":
+        k_bytes = dctcp_marking_threshold_bytes(link_rate_bps)
+        g = dctcp_gain(link_rate_bps)
+        return ProtocolHarness(
+            name,
+            lambda s, d, size, t0, **kw: DctcpFlow(s, d, size, t0, g=g, **kw),
+            link_mutator=lambda spec: replace(spec, ecn_threshold_bytes=k_bytes),
+            flow_kwargs=window_kwargs,
+        )
+    if name == "hull":
+        # HULL marks in the *phantom* queue; the real queue stays unmarked.
+        thresh = max(3_000 * link_rate_bps // (10**10), 1_500)
+        g = dctcp_gain(link_rate_bps)
+        return ProtocolHarness(
+            name,
+            lambda s, d, size, t0, **kw: HullFlow(s, d, size, t0, g=g, **kw),
+            post_build=lambda sim, net: install_phantom_queues(
+                net.ports, gamma=0.95, mark_threshold_bytes=thresh),
+            flow_kwargs=window_kwargs,
+        )
+    if name == "rcp":
+        return ProtocolHarness(
+            name,
+            lambda s, d, size, t0, **kw: RcpFlow(s, d, size, t0, **kw),
+            post_build=lambda sim, net: install_rcp(sim, net.ports, base_rtt_ps),
+        )
+    if name == "dx":
+        return ProtocolHarness(
+            name,
+            lambda s, d, size, t0, **kw: DxFlow(s, d, size, t0, **kw),
+            flow_kwargs=window_kwargs,
+        )
+    if name == "reno":
+        return ProtocolHarness(
+            name,
+            lambda s, d, size, t0, **kw: RenoFlow(s, d, size, t0, **kw),
+            flow_kwargs=window_kwargs,
+        )
+    if name == "cubic":
+        return ProtocolHarness(
+            name,
+            lambda s, d, size, t0, **kw: CubicFlow(s, d, size, t0, **kw),
+            flow_kwargs=window_kwargs,
+        )
+    if name == "dcqcn":
+        def _install_dcqcn(sim, net):
+            install_dcqcn_marking(net.ports, sim=sim)
+            install_pfc(sim, net.ports)
+        return ProtocolHarness(
+            name,
+            lambda s, d, size, t0, **kw: DcqcnFlow(s, d, size, t0, **kw),
+            post_build=_install_dcqcn,
+        )
+    if name == "timely":
+        return ProtocolHarness(
+            name,
+            lambda s, d, size, t0, **kw: TimelyFlow(s, d, size, t0, **kw),
+            post_build=lambda sim, net: install_pfc(sim, net.ports),
+        )
+    if name == "ideal":
+        oracle = OracleRateController()
+        return ProtocolHarness(
+            name,
+            lambda s, d, size, t0, **kw: IdealFlow(s, d, size, t0,
+                                                   oracle=kw.pop("oracle", oracle), **kw),
+        )
+    raise ValueError(f"unknown protocol {name!r}; choose from {PROTOCOLS}")

@@ -1,0 +1,89 @@
+"""One-page reproduction summary from the *cheap* experiments.
+
+``python -m repro run summary`` executes everything that completes in a few
+seconds — the analytic results (Table 1, Fig 5, Fig 12) and the calibration
+models (Fig 14) — plus a small live simulation sanity check, and renders a
+single report.  It is the quickest end-to-end health check of the
+reproduction; the full figure set comes from ``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from repro.core import ExpressPassFlow, ExpressPassParams
+from repro.experiments.runner import ExperimentResult
+from repro.metrics import jain_index
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, US
+from repro.topology import LinkSpec, dumbbell
+
+
+def _live_sanity(seed: int = 1) -> dict:
+    """A 20 ms, 8-flow dumbbell run checking the headline invariants."""
+    sim = Simulator(seed=seed)
+    topo = dumbbell(sim, n_pairs=8,
+                    bottleneck=LinkSpec(rate_bps=10 * GBPS, prop_delay_ps=4 * US))
+    params = ExpressPassParams(rtt_hint_ps=40 * US)
+    flows = [ExpressPassFlow(s, r, None, params=params)
+             for s, r in zip(topo.senders, topo.receivers)]
+    sim.run(until=10 * MS)
+    base = [f.bytes_delivered for f in flows]
+    sim.run(until=20 * MS)
+    rates = [f.bytes_delivered - b for f, b in zip(flows, base)]
+    for f in flows:
+        f.stop()
+    return {
+        "utilization": sum(rates) * 8 / 0.01 / 10e9,
+        "fairness": jain_index(rates),
+        "max_queue_bytes": topo.net.max_data_queue_bytes(),
+        "data_drops": topo.net.total_data_drops(),
+    }
+
+
+def run(seed: int = 1) -> ExperimentResult:
+    """Build the summary rows (cheap analytics + one live check)."""
+    from repro.calculus import buffer_bounds, d_star, TopologyParams
+    from repro.experiments.fig12_steady_state import run as fig12_run
+    from repro.experiments.fig14_host_jitter import run_host_delay
+
+    rows = []
+
+    live = _live_sanity(seed)
+    rows.append({"check": "live: 8-flow utilization",
+                 "value": f"{live['utilization']:.3f}",
+                 "expectation": ">= 0.85 (credit ceiling ~0.92)",
+                 "ok": live["utilization"] >= 0.85})
+    rows.append({"check": "live: 8-flow Jain fairness",
+                 "value": f"{live['fairness']:.3f}",
+                 "expectation": ">= 0.9", "ok": live["fairness"] >= 0.9})
+    rows.append({"check": "live: max data queue",
+                 "value": f"{live['max_queue_bytes']} B",
+                 "expectation": "< 16 MTUs",
+                 "ok": live["max_queue_bytes"] < 16 * 1538})
+    rows.append({"check": "live: data drops", "value": str(live["data_drops"]),
+                 "expectation": "== 0", "ok": live["data_drops"] == 0})
+
+    bounds = buffer_bounds(TopologyParams(), "literal")
+    rows.append({"check": "Table 1: ToR-down bound (10/40)",
+                 "value": f"{bounds.tor_down_bytes / 1e3:.1f} KB",
+                 "expectation": "~577.3 KB (paper)",
+                 "ok": 0.6 * 577_300 < bounds.tor_down_bytes < 1.4 * 577_300})
+
+    fig12 = fig12_run(n_flows=8, periods=300, w_mins=(0.01,))
+    amp = fig12.rows[0]
+    rows.append({"check": "Fig 12: oscillation == D*",
+                 "value": f"{amp['final_amplitude']:.4f}",
+                 "expectation": f"~{amp['predicted_D_star']:.4f}",
+                 "ok": amp["final_amplitude"] <= amp["predicted_D_star"] * 1.3})
+
+    delay = run_host_delay(samples=20_000, seed=seed)
+    median = next(r["delay_us"] for r in delay.rows if r["percentile"] == 50)
+    rows.append({"check": "Fig 14a: host delay median",
+                 "value": f"{median:.2f} us", "expectation": "~0.38 us (paper)",
+                 "ok": 0.3 < median < 0.46})
+
+    return ExperimentResult(
+        name="Reproduction summary (cheap checks)",
+        columns=["check", "value", "expectation", "ok"],
+        rows=rows,
+        meta={"all_ok": all(r["ok"] for r in rows)},
+    )

@@ -1,0 +1,27 @@
+"""Measurement utilities: fairness, FCT statistics, time series, convergence."""
+
+from repro.metrics.fairness import jain_index
+from repro.metrics.fct import (
+    FctStats,
+    SIZE_BUCKETS,
+    bucket_of,
+    fct_stats_by_bucket,
+    percentile,
+)
+from repro.metrics.timeseries import (
+    FlowThroughputSampler,
+    QueueSampler,
+    convergence_time_ps,
+)
+
+__all__ = [
+    "jain_index",
+    "percentile",
+    "FctStats",
+    "SIZE_BUCKETS",
+    "bucket_of",
+    "fct_stats_by_bucket",
+    "QueueSampler",
+    "FlowThroughputSampler",
+    "convergence_time_ps",
+]

@@ -1,0 +1,23 @@
+"""Jain's fairness index (Jain, Chiu, Hawe 1984)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def jain_index(allocations: Iterable[float]) -> float:
+    """J = (Σx)² / (n · Σx²); 1.0 is perfectly fair, 1/n maximally skewed.
+
+    An empty input or all-zero allocations return 1.0 (nothing is unfairly
+    shared when nothing is shared).
+    """
+    xs = list(allocations)
+    if not xs:
+        return 1.0
+    if any(x < 0 for x in xs):
+        raise ValueError("allocations must be non-negative")
+    total = sum(xs)
+    if total == 0:
+        return 1.0
+    squares = sum(x * x for x in xs)
+    return total * total / (len(xs) * squares)

@@ -1,0 +1,84 @@
+"""Flow-completion-time statistics, bucketed by flow size as in the paper.
+
+Table 2 / Fig 19 use four buckets: S (0–10 KB), M (10–100 KB), L (100 KB–1 MB)
+and XL (>1 MB).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.units import KB, MB
+
+#: (label, inclusive lower bound, exclusive upper bound) in bytes.
+SIZE_BUCKETS = (
+    ("S", 0, 10 * KB),
+    ("M", 10 * KB, 100 * KB),
+    ("L", 100 * KB, 1 * MB),
+    ("XL", 1 * MB, None),
+)
+
+
+def bucket_of(size_bytes: int) -> str:
+    """Bucket label for a flow size."""
+    for label, lo, hi in SIZE_BUCKETS:
+        if size_bytes >= lo and (hi is None or size_bytes < hi):
+            return label
+    raise ValueError(f"unbucketable size {size_bytes}")
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (pct in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= pct <= 100:
+        raise ValueError("pct must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100 * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class FctStats:
+    """Summary of a set of flow completion times (seconds)."""
+
+    count: int
+    mean_s: float
+    median_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_fcts_ps(cls, fcts_ps: Sequence[int]) -> "FctStats":
+        if not fcts_ps:
+            raise ValueError("no completed flows to summarize")
+        seconds = [t / 1e12 for t in fcts_ps]
+        return cls(
+            count=len(seconds),
+            mean_s=sum(seconds) / len(seconds),
+            median_s=percentile(seconds, 50),
+            p99_s=percentile(seconds, 99),
+            max_s=max(seconds),
+        )
+
+
+def fct_stats_by_bucket(flows: Iterable) -> Dict[str, FctStats]:
+    """Per-size-bucket FCT summaries over *completed* flows.
+
+    Buckets with no completed flows are omitted.
+    """
+    buckets: Dict[str, List[int]] = {}
+    for flow in flows:
+        if flow.fct_ps is None or flow.size_bytes is None:
+            continue
+        buckets.setdefault(bucket_of(flow.size_bytes), []).append(flow.fct_ps)
+    return {label: FctStats.from_fcts_ps(v) for label, v in buckets.items()}

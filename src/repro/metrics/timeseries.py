@@ -1,0 +1,102 @@
+"""Periodic samplers for queues and per-flow throughput, plus convergence
+detection used by the Fig 2/13/16 experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.units import SEC
+
+
+class QueueSampler:
+    """Samples a port's data-queue occupancy every ``interval_ps``.
+
+    ``samples`` is a list of (time_ps, bytes).  The queue's own stats object
+    already tracks max and the exact time-weighted average; this sampler
+    exists for time-series plots (Fig 13).
+    """
+
+    def __init__(self, sim: Simulator, port, interval_ps: int):
+        self.sim = sim
+        self.port = port
+        self.interval_ps = interval_ps
+        self.samples: List[tuple] = []
+        self._event = sim.schedule(0, self._tick)
+
+    def _tick(self) -> None:
+        self.samples.append((self.sim.now, self.port.data_queue.bytes))
+        self._event = self.sim.schedule(self.interval_ps, self._tick)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def max_bytes(self) -> int:
+        return max((b for _, b in self.samples), default=0)
+
+
+class FlowThroughputSampler:
+    """Per-flow goodput time series from ``bytes_delivered`` deltas.
+
+    ``series[flow]`` is a list of throughputs in bit/s, one per interval.
+    """
+
+    def __init__(self, sim: Simulator, flows: Sequence, interval_ps: int):
+        self.sim = sim
+        self.flows = list(flows)
+        self.interval_ps = interval_ps
+        self.series: Dict[object, List[float]] = {f: [] for f in self.flows}
+        self.times_ps: List[int] = []
+        self._last: Dict[object, int] = {f: f.bytes_delivered for f in self.flows}
+        self._event = sim.schedule(interval_ps, self._tick)
+
+    def track(self, flow) -> None:
+        """Start tracking a flow that was created after the sampler."""
+        self.flows.append(flow)
+        self.series[flow] = [0.0] * len(self.times_ps)
+        self._last[flow] = flow.bytes_delivered
+
+    def _tick(self) -> None:
+        self.times_ps.append(self.sim.now)
+        for flow in self.flows:
+            delta = flow.bytes_delivered - self._last[flow]
+            self._last[flow] = flow.bytes_delivered
+            self.series[flow].append(delta * 8 * SEC / self.interval_ps)
+        self._event = self.sim.schedule(self.interval_ps, self._tick)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+
+def convergence_time_ps(
+    times_ps: Sequence[int],
+    series: Sequence[Sequence[float]],
+    fair_share_bps: float,
+    tolerance: float = 0.2,
+    sustain_intervals: int = 3,
+    start_ps: int = 0,
+) -> Optional[int]:
+    """First time (after ``start_ps``) at which *every* flow stays within
+    ``tolerance`` of ``fair_share_bps`` for ``sustain_intervals`` consecutive
+    samples.  Returns the timestamp, or None if never converged.
+    """
+    if not series or not times_ps:
+        return None
+    n = len(times_ps)
+    run = 0
+    for i in range(n):
+        if times_ps[i] < start_ps:
+            continue
+        ok = all(
+            abs(s[i] - fair_share_bps) <= tolerance * fair_share_bps
+            for s in series
+            if i < len(s)
+        )
+        run = run + 1 if ok else 0
+        if run >= sustain_intervals:
+            return times_ps[i - sustain_intervals + 1]
+    return None

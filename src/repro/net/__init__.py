@@ -1,0 +1,58 @@
+"""Network substrate: packets, queues, links, switches, hosts, routing.
+
+The model is an output-queued, full-duplex Ethernet network.  Every egress
+(port, direction) owns a drop-tail data queue and a rate-limited credit queue
+(ExpressPass §3.1); ECN marking, HULL phantom queues, and RCP rate
+computation hook into the same port object so that all transports share one
+network model.
+"""
+
+from repro.net.packet import (
+    CREDIT_WIRE_MAX,
+    CREDIT_WIRE_MIN,
+    DATA_WIRE_MAX,
+    ETHERNET_OVERHEAD,
+    MTU_PAYLOAD,
+    MIN_WIRE,
+    Packet,
+    PacketKind,
+)
+from repro.net.queues import CreditQueue, DataQueue, PhantomQueue, TokenBucket
+from repro.net.port import Port, PortStats
+from repro.net.link import connect
+from repro.net.node import Node
+from repro.net.switch import Switch
+from repro.net.host import Host, HostDelayModel
+from repro.net.routing import build_ecmp_tables, symmetric_flow_hash
+from repro.net.classes import ClassifiedCreditQueues, install_credit_classes
+from repro.net.pfc import PfcController, install_pfc
+from repro.net.trace import PortTracer
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "CREDIT_WIRE_MIN",
+    "CREDIT_WIRE_MAX",
+    "DATA_WIRE_MAX",
+    "MTU_PAYLOAD",
+    "MIN_WIRE",
+    "ETHERNET_OVERHEAD",
+    "TokenBucket",
+    "CreditQueue",
+    "DataQueue",
+    "PhantomQueue",
+    "Port",
+    "PortStats",
+    "connect",
+    "Node",
+    "Switch",
+    "Host",
+    "HostDelayModel",
+    "build_ecmp_tables",
+    "symmetric_flow_hash",
+    "ClassifiedCreditQueues",
+    "install_credit_classes",
+    "PfcController",
+    "install_pfc",
+    "PortTracer",
+]

@@ -1,0 +1,77 @@
+"""Fault injection: controlled packet loss and corruption-like drops.
+
+Testing reliability machinery needs *repeatable* misbehaviour.  A
+:class:`LossInjector` attaches to a port and silently discards packets
+according to a policy, before they reach the queues (as if the wire ate
+them).  Policies compose:
+
+* ``probability=p`` — Bernoulli loss from a seeded stream,
+* ``every_nth=n`` — deterministic periodic loss,
+* ``match=...`` — restrict to packets satisfying a predicate
+  (e.g. only data, only one flow, only seq < 10).
+
+Dropped packets are counted and optionally reported to their flow (by
+default they are *silent* — modelling corruption, the hardest case for a
+transport, since no drop signal exists).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.net.port import Port
+
+
+class LossInjector:
+    """Discards a controlled subset of packets entering a port."""
+
+    def __init__(
+        self,
+        port: Port,
+        probability: float = 0.0,
+        every_nth: Optional[int] = None,
+        match: Optional[Callable[[Packet], bool]] = None,
+        notify_flows: bool = False,
+        rng=None,
+    ):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if every_nth is not None and every_nth < 1:
+            raise ValueError("every_nth must be >= 1")
+        if probability > 0 and rng is None:
+            rng = port.sim.rng("fault-injector")
+        self.port = port
+        self.probability = probability
+        self.every_nth = every_nth
+        self.match = match
+        self.notify_flows = notify_flows
+        self.rng = rng
+        self.seen = 0
+        self.dropped = 0
+        if port.drop_filter is not None:
+            raise RuntimeError(f"{port.name} already has a drop filter")
+        port.drop_filter = self._filter
+
+    def _filter(self, pkt: Packet) -> bool:
+        """Port hook: True = discard the packet."""
+        if self.match is not None and not self.match(pkt):
+            return False
+        self.seen += 1
+        drop = False
+        if self.every_nth is not None and self.seen % self.every_nth == 0:
+            drop = True
+        elif self.probability > 0 and self.rng.random() < self.probability:
+            drop = True
+        if drop:
+            self.dropped += 1
+            if self.notify_flows and pkt.flow is not None:
+                if pkt.is_credit:
+                    pkt.flow.on_credit_dropped(pkt, self.port)
+                else:
+                    pkt.flow.on_data_dropped(pkt, self.port)
+        return drop
+
+    def detach(self) -> None:
+        """Remove the injector; the port behaves normally again."""
+        self.port.drop_filter = None

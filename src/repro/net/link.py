@@ -1,0 +1,34 @@
+"""Full-duplex link construction."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.node import Node
+from repro.net.port import Port
+from repro.sim.engine import Simulator
+
+
+def connect(
+    sim: Simulator,
+    a: Node,
+    b: Node,
+    rate_bps: int,
+    prop_delay_ps: int,
+    data_capacity_bytes: int,
+    credit_capacity_pkts: int = 8,
+    ecn_threshold_bytes: Optional[int] = None,
+) -> Tuple[Port, Port]:
+    """Create a full-duplex link between ``a`` and ``b``.
+
+    Returns ``(port_a_to_b, port_b_to_a)``.  Both directions share rate,
+    propagation delay, and buffer configuration — per-direction asymmetry is
+    not needed by any experiment in the paper.
+    """
+    ab = Port(sim, a, b, rate_bps, prop_delay_ps, data_capacity_bytes,
+              credit_capacity_pkts, ecn_threshold_bytes)
+    ba = Port(sim, b, a, rate_bps, prop_delay_ps, data_capacity_bytes,
+              credit_capacity_pkts, ecn_threshold_bytes)
+    a.attach_port(ab)
+    b.attach_port(ba)
+    return ab, ba

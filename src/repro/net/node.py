@@ -1,0 +1,36 @@
+"""Base class for network nodes (switches and hosts)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class Node:
+    """A device with egress ports toward its neighbors.
+
+    ``ports[neighbor_id]`` is the egress :class:`~repro.net.port.Port` toward
+    that neighbor.  ``neighbors`` is kept sorted by node id so that ECMP
+    next-hop lists have the deterministic ordering the paper requires for
+    symmetric routing.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, name: str = ""):
+        self.sim = sim
+        self.id = node_id
+        self.name = name or f"node{node_id}"
+        self.ports: Dict[int, "Port"] = {}
+        self.neighbors: List[int] = []
+
+    def attach_port(self, port) -> None:
+        self.ports[port.peer.id] = port
+        self.neighbors.append(port.peer.id)
+        self.neighbors.sort()
+
+    def receive(self, pkt: Packet, from_port) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

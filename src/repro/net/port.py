@@ -1,0 +1,225 @@
+"""Egress port: one direction of a full-duplex link.
+
+A :class:`Port` belongs to a node and transmits toward a single peer.  It
+owns the egress queues (data + credit), the credit token bucket, and the
+transmitter state machine.  Scheduling policy (ExpressPass §3.1):
+
+* credit packets are drained through a token bucket filled at
+  84/1622 ≈ 5.18 % of link rate with a burst of 2 credit packets —
+  "maximum bandwidth metering" in Broadcom terms;
+* when the line goes idle, a credit is sent if the bucket allows it,
+  otherwise the head data packet; if only credits wait but tokens are short,
+  the transmitter sleeps exactly until the bucket refills.
+
+Optional per-port attachments (`phantom`, `rcp_controller`) let HULL and RCP
+reuse the same port without burdening the common path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import (
+    CREDIT_RATE_FRACTION_DEN,
+    CREDIT_RATE_FRACTION_NUM,
+    CREDIT_WIRE_MAX,
+    Packet,
+)
+from repro.net.queues import CreditQueue, DataQueue, PhantomQueue, TokenBucket
+from repro.sim.engine import Simulator
+from repro.sim.units import tx_time_ps
+
+
+class PortStats:
+    """Egress counters for utilization and loss reporting."""
+
+    __slots__ = ("data_bytes_sent", "credit_bytes_sent", "data_pkts_sent",
+                 "credit_pkts_sent", "busy_ps")
+
+    def __init__(self):
+        self.data_bytes_sent = 0
+        self.credit_bytes_sent = 0
+        self.data_pkts_sent = 0
+        self.credit_pkts_sent = 0
+        self.busy_ps = 0
+
+
+class Port:
+    """One egress direction of a link; see module docstring."""
+
+    __slots__ = (
+        "sim", "node", "peer", "rate_bps", "prop_delay_ps",
+        "data_queue", "credit_queue", "credit_bucket",
+        "lowprio_queue",
+        "phantom", "rcp_controller", "on_transmit",
+        "pfc", "pfc_paused", "up", "drop_filter",
+        "stats", "_busy", "_wake_event",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node,
+        peer,
+        rate_bps: int,
+        prop_delay_ps: int,
+        data_capacity_bytes: int,
+        credit_capacity_pkts: int = 8,
+        ecn_threshold_bytes: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.node = node
+        self.peer = peer
+        self.rate_bps = rate_bps
+        self.prop_delay_ps = prop_delay_ps
+        self.data_queue = DataQueue(data_capacity_bytes, ecn_threshold_bytes)
+        self.credit_queue = CreditQueue(credit_capacity_pkts)
+        credit_rate = rate_bps * CREDIT_RATE_FRACTION_NUM // CREDIT_RATE_FRACTION_DEN
+        self.credit_bucket = TokenBucket(credit_rate, burst_bytes=2 * CREDIT_WIRE_MAX)
+        # Low-priority queue for opportunistic (uncredited) data, created on
+        # first use (§7 / RC3-style extension).  Strictly below normal data.
+        self.lowprio_queue: Optional[DataQueue] = None
+        self.phantom: Optional[PhantomQueue] = None
+        self.rcp_controller = None
+        #: Optional hook called with each packet as it hits the wire
+        #: (used by :class:`repro.net.trace.PortTracer`).
+        self.on_transmit = None
+        #: Priority flow control (802.1Qbb analog): ``pfc`` is the installed
+        #: controller watching this port's data queue; ``pfc_paused`` is set
+        #: by the *peer* to stop our data (credits/control keep flowing, as
+        #: PFC pauses per traffic class).
+        self.pfc = None
+        self.pfc_paused = False
+        #: Administrative/link state.  A down port drops everything handed to
+        #: it (packets already in flight on the wire still arrive).
+        self.up = True
+        #: Optional fault-injection hook: called with each packet entering
+        #: the port; returning True silently discards it
+        #: (:class:`repro.net.fault.LossInjector`).
+        self.drop_filter = None
+        self.stats = PortStats()
+        self._busy = False
+        self._wake_event = None
+
+    # -- naming ------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"{self.node.name}->{self.peer.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.name} {self.rate_bps / 1e9:g}Gbps>"
+
+    # -- ingress side of the egress object ----------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Enqueue ``pkt`` for transmission; returns False if it was dropped."""
+        if self.drop_filter is not None and self.drop_filter(pkt):
+            return False
+        if not self.up:
+            if pkt.is_credit:
+                if pkt.flow is not None:
+                    pkt.flow.on_credit_dropped(pkt, self)
+            elif pkt.flow is not None:
+                pkt.flow.on_data_dropped(pkt, self)
+            return False
+        now = self.sim.now
+        if pkt.is_credit:
+            ok = self.credit_queue.enqueue(pkt, now)
+            if not ok and pkt.flow is not None:
+                pkt.flow.on_credit_dropped(pkt, self)
+        elif pkt.low_priority:
+            if self.lowprio_queue is None:
+                self.lowprio_queue = DataQueue(self.data_queue.capacity_bytes)
+            ok = self.lowprio_queue.enqueue(pkt, now)
+            if not ok and pkt.flow is not None:
+                pkt.flow.on_data_dropped(pkt, self)
+        else:
+            if self.phantom is not None:
+                self.phantom.on_arrival(pkt, now)
+            if self.rcp_controller is not None:
+                self.rcp_controller.on_arrival(pkt, now)
+            ok = self.data_queue.enqueue(pkt, now)
+            if not ok and pkt.flow is not None:
+                pkt.flow.on_data_dropped(pkt, self)
+            if ok and self.pfc is not None:
+                self.pfc.on_queue_change(self)
+        if ok:
+            self._try_send()
+        return ok
+
+    # -- transmitter ---------------------------------------------------------
+    def _try_send(self) -> None:
+        if self._busy:
+            return
+        now = self.sim.now
+        head = self.credit_queue.head()
+        # Byte-based metering: a jittered 84..92 B credit consumes its actual
+        # wire size, so successive credit drain slots vary by a few percent.
+        # This is the switch-level jitter the paper creates by randomizing
+        # credit sizes (§3.1) — it de-synchronizes which flow's credit wins
+        # each free queue slot, making drops uniform across flows.
+        if head is not None and self.credit_bucket.try_consume(head.wire_bytes, now):
+            self._transmit(self.credit_queue.dequeue(now))
+            return
+        if not self.pfc_paused:
+            pkt = self.data_queue.dequeue(now)
+            if pkt is not None:
+                if self.pfc is not None:
+                    self.pfc.on_queue_change(self)
+                self._transmit(pkt)
+                return
+        if self.lowprio_queue is not None and not self.pfc_paused:
+            pkt = self.lowprio_queue.dequeue(now)
+            if pkt is not None:
+                self._transmit(pkt)
+                return
+        if head is not None:
+            # Only credits wait; sleep until the bucket has refilled.
+            wait = self.credit_bucket.time_until(head.wire_bytes, now)
+            if self._wake_event is not None:
+                self._wake_event.cancel()
+            self._wake_event = self.sim.schedule(max(wait, 1), self._wake)
+
+    def _wake(self) -> None:
+        self._wake_event = None
+        self._try_send()
+
+    def _transmit(self, pkt: Packet) -> None:
+        if self.on_transmit is not None:
+            self.on_transmit(pkt)
+        self._busy = True
+        if self._wake_event is not None:
+            self._wake_event.cancel()
+            self._wake_event = None
+        tx = tx_time_ps(pkt.wire_bytes, self.rate_bps)
+        if pkt.is_credit:
+            self.stats.credit_bytes_sent += pkt.wire_bytes
+            self.stats.credit_pkts_sent += 1
+        else:
+            self.stats.data_bytes_sent += pkt.wire_bytes
+            self.stats.data_pkts_sent += 1
+        self.stats.busy_ps += tx
+        self.sim.schedule(tx, self._tx_done)
+        self.sim.schedule(tx + self.prop_delay_ps, self.peer.receive, pkt, self)
+
+    def _tx_done(self) -> None:
+        self._busy = False
+        self._try_send()
+
+    def set_pfc_paused(self, paused: bool) -> None:
+        """Called by the peer's PFC controller (after wire delay)."""
+        if self.pfc_paused and not paused:
+            self.pfc_paused = False
+            self._try_send()
+        else:
+            self.pfc_paused = paused
+
+    # -- reporting -----------------------------------------------------------
+    def utilization(self, interval_ps: int) -> float:
+        """Fraction of ``interval_ps`` the line spent transmitting."""
+        return self.stats.busy_ps / interval_ps if interval_ps > 0 else 0.0
+
+    def data_throughput_bps(self, interval_ps: int) -> float:
+        """Average delivered data rate (wire bytes) over ``interval_ps``."""
+        if interval_ps <= 0:
+            return 0.0
+        return self.stats.data_bytes_sent * 8 * 1e12 / interval_ps

@@ -1,0 +1,248 @@
+"""Port-level queueing primitives.
+
+* :class:`TokenBucket` — Broadcom-style maximum-bandwidth metering, used to
+  rate-limit credit packets to ≈5 % of link capacity (burst = 2 credits).
+* :class:`DataQueue` — drop-tail FIFO with optional ECN marking at a byte
+  threshold (DCTCP) and time-weighted occupancy statistics.
+* :class:`CreditQueue` — the tiny (default 8-credit) carved buffer for credit
+  packets; overflowing credits are *dropped*, which is the congestion signal
+  ExpressPass feeds back to receivers.
+* :class:`PhantomQueue` — HULL's virtual queue draining at γ·C; marks ECN on
+  the real packets while the real queue stays near-empty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.sim.units import SEC
+
+
+class TokenBucket:
+    """Token bucket metering in bytes.
+
+    ``rate_bps`` is the fill rate; ``burst_bytes`` caps accumulation.  Tokens
+    are tracked lazily: :meth:`refill` advances the bucket to the current
+    simulation time.
+    """
+
+    __slots__ = ("rate_bps", "burst_bytes", "tokens", "_last_ps")
+
+    def __init__(self, rate_bps: int, burst_bytes: float, start_full: bool = True):
+        if rate_bps <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self.rate_bps = rate_bps
+        self.burst_bytes = float(burst_bytes)
+        self.tokens = self.burst_bytes if start_full else 0.0
+        self._last_ps = 0
+
+    def refill(self, now_ps: int) -> None:
+        """Advance the bucket to ``now_ps``."""
+        if now_ps > self._last_ps:
+            self.tokens = min(
+                self.burst_bytes,
+                self.tokens + (now_ps - self._last_ps) * self.rate_bps / (8 * SEC),
+            )
+            self._last_ps = now_ps
+
+    def try_consume(self, nbytes: int, now_ps: int) -> bool:
+        """Consume ``nbytes`` of tokens if available; return success."""
+        self.refill(now_ps)
+        if self.tokens >= nbytes:
+            self.tokens -= nbytes
+            return True
+        return False
+
+    def time_until(self, nbytes: int, now_ps: int) -> int:
+        """Picoseconds until ``nbytes`` of tokens will be available."""
+        self.refill(now_ps)
+        deficit = nbytes - self.tokens
+        if deficit <= 0:
+            return 0
+        return -int(-(deficit * 8 * SEC) // self.rate_bps)
+
+
+class _QueueStats:
+    """Shared occupancy bookkeeping: drops, max, and time-weighted average."""
+
+    __slots__ = ("enqueued", "dropped", "max_bytes", "max_pkts",
+                 "_integral_byte_ps", "_last_change_ps", "_last_bytes")
+
+    def __init__(self):
+        self.enqueued = 0
+        self.dropped = 0
+        self.max_bytes = 0
+        self.max_pkts = 0
+        self._integral_byte_ps = 0
+        self._last_change_ps = 0
+        self._last_bytes = 0
+
+    def record(self, now_ps: int, cur_bytes: int, cur_pkts: int) -> None:
+        self._integral_byte_ps += self._last_bytes * (now_ps - self._last_change_ps)
+        self._last_change_ps = now_ps
+        self._last_bytes = cur_bytes
+        if cur_bytes > self.max_bytes:
+            self.max_bytes = cur_bytes
+        if cur_pkts > self.max_pkts:
+            self.max_pkts = cur_pkts
+
+    def average_bytes(self, now_ps: int) -> float:
+        """Time-weighted average occupancy over [0, now]."""
+        if now_ps <= 0:
+            return 0.0
+        total = self._integral_byte_ps + self._last_bytes * (now_ps - self._last_change_ps)
+        return total / now_ps
+
+
+class DataQueue:
+    """Drop-tail FIFO with optional ECN marking on enqueue.
+
+    Two marking modes:
+
+    * ``ecn_threshold_bytes`` — DCTCP's instantaneous step marking: an
+      arriving ECN-capable packet is marked when the occupancy (including
+      itself) exceeds the threshold.
+    * :meth:`set_red_marking` — RED-style probabilistic marking between
+      ``kmin`` and ``kmax`` (DCQCN's switch configuration); above ``kmax``
+      every ECN-capable packet is marked.
+    """
+
+    __slots__ = ("capacity_bytes", "ecn_threshold_bytes",
+                 "_red_kmin", "_red_kmax", "_red_pmax", "_red_rng",
+                 "_q", "bytes", "stats")
+
+    def __init__(self, capacity_bytes: int, ecn_threshold_bytes: Optional[int] = None):
+        self.capacity_bytes = capacity_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self._red_kmin = None
+        self._red_kmax = None
+        self._red_pmax = 0.0
+        self._red_rng = None
+        self._q: deque = deque()
+        self.bytes = 0
+        self.stats = _QueueStats()
+
+    def set_red_marking(self, kmin_bytes: int, kmax_bytes: int,
+                        pmax: float, rng) -> None:
+        """Enable RED/DCQCN-style probabilistic ECN marking."""
+        if not 0 <= kmin_bytes < kmax_bytes:
+            raise ValueError("need 0 <= kmin < kmax")
+        if not 0 < pmax <= 1:
+            raise ValueError("pmax must be in (0, 1]")
+        self._red_kmin = kmin_bytes
+        self._red_kmax = kmax_bytes
+        self._red_pmax = pmax
+        self._red_rng = rng
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def enqueue(self, pkt: Packet, now_ps: int) -> bool:
+        """Append ``pkt``; returns False (and counts a drop) on overflow."""
+        if self.bytes + pkt.wire_bytes > self.capacity_bytes:
+            self.stats.dropped += 1
+            return False
+        self._q.append(pkt)
+        self.bytes += pkt.wire_bytes
+        self.stats.enqueued += 1
+        if pkt.ecn_capable:
+            if (self.ecn_threshold_bytes is not None
+                    and self.bytes > self.ecn_threshold_bytes):
+                pkt.ecn_marked = True
+            elif self._red_kmin is not None and self.bytes > self._red_kmin:
+                if self.bytes >= self._red_kmax:
+                    pkt.ecn_marked = True
+                else:
+                    frac = (self.bytes - self._red_kmin) / (
+                        self._red_kmax - self._red_kmin)
+                    if self._red_rng.random() < frac * self._red_pmax:
+                        pkt.ecn_marked = True
+        self.stats.record(now_ps, self.bytes, len(self._q))
+        return True
+
+    def dequeue(self, now_ps: int) -> Optional[Packet]:
+        if not self._q:
+            return None
+        pkt = self._q.popleft()
+        self.bytes -= pkt.wire_bytes
+        self.stats.record(now_ps, self.bytes, len(self._q))
+        return pkt
+
+
+class CreditQueue:
+    """The carved credit buffer: a tiny drop-tail FIFO measured in packets.
+
+    The paper assigns four to eight credit packets per port via buffer
+    carving; dropping the excess *is the feedback signal*, so drops are
+    counted per flow by the owning port.
+    """
+
+    __slots__ = ("capacity_pkts", "_q", "bytes", "stats")
+
+    def __init__(self, capacity_pkts: int = 8):
+        if capacity_pkts < 1:
+            raise ValueError("credit queue needs capacity of at least 1 packet")
+        self.capacity_pkts = capacity_pkts
+        self._q: deque = deque()
+        self.bytes = 0
+        self.stats = _QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def enqueue(self, pkt: Packet, now_ps: int) -> bool:
+        if len(self._q) >= self.capacity_pkts:
+            self.stats.dropped += 1
+            return False
+        self._q.append(pkt)
+        self.bytes += pkt.wire_bytes
+        self.stats.enqueued += 1
+        self.stats.record(now_ps, self.bytes, len(self._q))
+        return True
+
+    def head(self) -> Optional[Packet]:
+        return self._q[0] if self._q else None
+
+    def dequeue(self, now_ps: int) -> Optional[Packet]:
+        if not self._q:
+            return None
+        pkt = self._q.popleft()
+        self.bytes -= pkt.wire_bytes
+        self.stats.record(now_ps, self.bytes, len(self._q))
+        return pkt
+
+
+class PhantomQueue:
+    """HULL's phantom (virtual) queue.
+
+    A byte counter drains at ``gamma`` × link rate; each arriving data packet
+    adds its wire size.  When the counter exceeds ``mark_threshold_bytes``
+    the packet is ECN-marked even though the *real* queue may be empty —
+    capping utilization below capacity to keep latency near zero.
+    """
+
+    __slots__ = ("drain_bps", "mark_threshold_bytes", "vbytes", "_last_ps", "marks")
+
+    def __init__(self, link_rate_bps: int, gamma: float = 0.95,
+                 mark_threshold_bytes: int = 3_000):
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.drain_bps = int(link_rate_bps * gamma)
+        self.mark_threshold_bytes = mark_threshold_bytes
+        self.vbytes = 0.0
+        self._last_ps = 0
+        self.marks = 0
+
+    def on_arrival(self, pkt: Packet, now_ps: int) -> None:
+        """Account ``pkt`` against the virtual queue, marking if over threshold."""
+        if now_ps > self._last_ps:
+            self.vbytes = max(
+                0.0, self.vbytes - (now_ps - self._last_ps) * self.drain_bps / (8 * SEC)
+            )
+            self._last_ps = now_ps
+        self.vbytes += pkt.wire_bytes
+        if self.vbytes > self.mark_threshold_bytes and pkt.ecn_capable:
+            pkt.ecn_marked = True
+            self.marks += 1

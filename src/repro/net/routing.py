@@ -1,0 +1,80 @@
+"""Shortest-path ECMP routing with symmetric hashing.
+
+``build_ecmp_tables`` computes, for every node and destination host, the
+deterministically-sorted list of next hops lying on shortest paths (BFS over
+the undirected topology graph).  Path choice among equal-cost next hops uses
+``symmetric_flow_hash``: the hash key is the *canonically ordered* 4-tuple,
+so a flow's credit packets (receiver→sender) and data packets
+(sender→receiver) pick the same index at every switch — the paper's
+"symmetric hashing with deterministic ECMP" (§3.1).
+
+Setting ``symmetric=False`` on :func:`flow_hash` models plain direction-
+dependent ECMP and is used by the ablation tests/benches to show why path
+symmetry matters.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from collections import deque
+from typing import Dict, Iterable, List
+
+_HASH_PACK = struct.Struct("<iiii")
+
+
+def symmetric_flow_hash(src: int, dst: int, sport: int, dport: int) -> int:
+    """Direction-independent flow hash.
+
+    Both directions of a connection canonicalize to the same key, so they
+    resolve to the same ECMP index everywhere.  CRC32 keeps the value stable
+    across processes (Python's built-in ``hash`` is randomized).
+    """
+    a = (src, sport)
+    b = (dst, dport)
+    lo, hi = (a, b) if a <= b else (b, a)
+    return zlib.crc32(_HASH_PACK.pack(lo[0], lo[1], hi[0], hi[1]))
+
+
+def asymmetric_flow_hash(src: int, dst: int, sport: int, dport: int) -> int:
+    """Direction-dependent hash (plain ECMP) for the asymmetry ablation."""
+    return zlib.crc32(_HASH_PACK.pack(src, sport, dst, dport))
+
+
+def build_ecmp_tables(nodes: Dict[int, "Node"], host_ids: Iterable[int]) -> None:
+    """Populate ``switch.table[dst_host] = [next_hop_id, ...]`` on every node.
+
+    Next-hop lists are sorted by node id — the "deterministic ECMP" half of
+    the paper's symmetric routing requirement.
+    """
+    # Exclude links that are down in *either* direction: §3.1 requires
+    # symmetric routing, so a unidirectional failure removes the link for
+    # both credits and data.
+    adjacency = {}
+    for nid, node in nodes.items():
+        usable = []
+        for neighbor in node.neighbors:
+            fwd = node.ports.get(neighbor)
+            rev = nodes[neighbor].ports.get(nid)
+            if fwd is not None and fwd.up and rev is not None and rev.up:
+                usable.append(neighbor)
+        adjacency[nid] = usable
+    for dst in host_ids:
+        dist = {dst: 0}
+        frontier = deque([dst])
+        while frontier:
+            cur = frontier.popleft()
+            for neighbor in adjacency[cur]:
+                if neighbor not in dist:
+                    dist[neighbor] = dist[cur] + 1
+                    frontier.append(neighbor)
+        for nid, node in nodes.items():
+            if nid == dst or not hasattr(node, "table"):
+                continue  # hosts just forward out their single NIC
+            if nid not in dist:
+                continue  # partitioned topologies are allowed in tests
+            hops: List[int] = [
+                neighbor for neighbor in adjacency[nid]
+                if dist.get(neighbor, 1 << 60) == dist[nid] - 1
+            ]
+            node.table[dst] = hops  # already sorted: neighbors list is sorted

@@ -1,0 +1,42 @@
+"""Discrete-event simulation engine.
+
+This package is the lowest substrate of the reproduction: a deterministic
+event scheduler with an integer-picosecond clock and named, independently
+seeded random streams.  Everything else in :mod:`repro` (links, switches,
+transports) is built on top of it.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.units import (
+    GBPS,
+    KB,
+    MB,
+    MS,
+    NS,
+    PS,
+    SEC,
+    US,
+    bits_to_ps,
+    fmt_time,
+    ps_to_seconds,
+    seconds_to_ps,
+    tx_time_ps,
+)
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "PS",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "KB",
+    "MB",
+    "GBPS",
+    "bits_to_ps",
+    "tx_time_ps",
+    "ps_to_seconds",
+    "seconds_to_ps",
+    "fmt_time",
+]

@@ -1,0 +1,64 @@
+"""Time, size, and rate units used throughout the simulator.
+
+The simulation clock is an integer number of **picoseconds**.  One byte at
+100 Gbit/s takes exactly 80 ps, so transmission and propagation arithmetic at
+every datacenter link speed used in the paper (10/40/100 Gbit/s) is exact, and
+event ordering is fully deterministic.
+
+Rates are expressed in **bits per second** as plain integers
+(``10 * GBPS == 10_000_000_000``).
+"""
+
+from __future__ import annotations
+
+# --- time units (picoseconds) -------------------------------------------------
+PS = 1
+NS = 1_000
+US = 1_000_000
+MS = 1_000_000_000
+SEC = 1_000_000_000_000
+
+# --- sizes (bytes) ------------------------------------------------------------
+KB = 1_000
+MB = 1_000_000
+
+# --- rates (bits per second) --------------------------------------------------
+GBPS = 1_000_000_000
+
+
+def bits_to_ps(bits: int, rate_bps: int) -> int:
+    """Time to serialize ``bits`` at ``rate_bps``, in integer picoseconds.
+
+    Rounds up so that a link is never modelled as faster than it is.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return -((-bits * SEC) // rate_bps)
+
+
+def tx_time_ps(nbytes: int, rate_bps: int) -> int:
+    """Serialization delay of ``nbytes`` at ``rate_bps`` in picoseconds."""
+    return bits_to_ps(nbytes * 8, rate_bps)
+
+
+def ps_to_seconds(t_ps: int) -> float:
+    """Convert a picosecond timestamp to float seconds (for reporting)."""
+    return t_ps / SEC
+
+
+def seconds_to_ps(t_s: float) -> int:
+    """Convert float seconds to integer picoseconds (rounded)."""
+    return round(t_s * SEC)
+
+
+def fmt_time(t_ps: int) -> str:
+    """Human-readable rendering of a picosecond timestamp."""
+    if t_ps >= SEC:
+        return f"{t_ps / SEC:.6g} s"
+    if t_ps >= MS:
+        return f"{t_ps / MS:.6g} ms"
+    if t_ps >= US:
+        return f"{t_ps / US:.6g} us"
+    if t_ps >= NS:
+        return f"{t_ps / NS:.6g} ns"
+    return f"{t_ps} ps"

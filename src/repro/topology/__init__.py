@@ -1,0 +1,36 @@
+"""Topology builders used by the paper's experiments.
+
+All builders return a :class:`~repro.topology.network.Network` (plus builder-
+specific handles such as bottleneck ports).  Available shapes:
+
+* :func:`~repro.topology.simple.dumbbell` — N sender/receiver pairs over one
+  bottleneck (microbenchmarks, Figs 13, 15, 16).
+* :func:`~repro.topology.simple.single_switch` — one ToR star (Figs 1, 9, 17).
+* :func:`~repro.topology.simple.parking_lot` — chain of bottlenecks (Fig 10).
+* :func:`~repro.topology.simple.multi_bottleneck` — Fig 4(a)/11(a) shape.
+* :func:`~repro.topology.fattree.fat_tree` — k-ary fat tree with consistent
+  aggregation↔core wiring for symmetric ECMP (Figs 1, 19-21, Table 3).
+* :func:`~repro.topology.fattree.oversubscribed_clos` — 3-tier Clos with a
+  configurable ToR oversubscription ratio (the paper's realistic-workload
+  fabric: 8 core / 16 agg / 32 ToR / 192 hosts at 3:1).
+"""
+
+from repro.topology.network import LinkSpec, Network
+from repro.topology.simple import (
+    dumbbell,
+    multi_bottleneck,
+    parking_lot,
+    single_switch,
+)
+from repro.topology.fattree import fat_tree, oversubscribed_clos
+
+__all__ = [
+    "Network",
+    "LinkSpec",
+    "dumbbell",
+    "single_switch",
+    "parking_lot",
+    "multi_bottleneck",
+    "fat_tree",
+    "oversubscribed_clos",
+]

@@ -1,0 +1,130 @@
+"""k-ary fat trees and oversubscribed 3-tier Clos fabrics.
+
+Wiring is *consistent* across pods (aggregation switch ``j`` of every pod
+connects to core group ``j``), which together with sorted next-hop lists and
+symmetric flow hashing yields mirrored credit/data paths (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.host import Host, HostDelayModel
+from repro.sim.engine import Simulator
+from repro.topology.network import LinkSpec, Network
+
+
+@dataclass
+class FatTree:
+    net: Network
+    k: int
+    hosts: List[Host]
+    tors: List[object]
+    aggs: List[object]
+    cores: List[object]
+    tor_uplink_ports: List[object]  # ToR -> agg egress ports
+    tor_downlink_ports: List[object]  # ToR -> host egress ports
+
+
+def fat_tree(
+    sim: Simulator,
+    k: int,
+    edge: Optional[LinkSpec] = None,
+    core: Optional[LinkSpec] = None,
+    host_delay: Optional[HostDelayModel] = None,
+) -> FatTree:
+    """Standard k-ary fat tree: k pods, (k/2)^2 cores, k/2 hosts per ToR.
+
+    ``edge`` configures host—ToR and ToR—agg links, ``core`` the agg—core
+    links (the paper runs e.g. 10 G edge / 40 G core).
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat tree arity k must be even and >= 2")
+    edge = edge or LinkSpec()
+    core = core or edge
+    half = k // 2
+    net = Network(sim, host_delay)
+
+    cores_ = [net.add_switch(f"core{i}") for i in range(half * half)]
+    tors, aggs, hosts = [], [], []
+    tor_up, tor_down = [], []
+    for pod in range(k):
+        pod_aggs = [net.add_switch(f"agg{pod}_{j}") for j in range(half)]
+        pod_tors = [net.add_switch(f"tor{pod}_{j}") for j in range(half)]
+        aggs.extend(pod_aggs)
+        tors.extend(pod_tors)
+        for tor in pod_tors:
+            for agg in pod_aggs:
+                up, _ = net.link(tor, agg, edge)
+                tor_up.append(up)
+            for h in range(half):
+                host = net.add_host(f"h{pod}_{tor.name.split('_')[1]}_{h}")
+                _, down = net.link(host, tor, edge)
+                tor_down.append(down)
+                hosts.append(host)
+        # Aggregation switch j serves core group j: cores [j*half, (j+1)*half).
+        for j, agg in enumerate(pod_aggs):
+            for c in range(half):
+                net.link(agg, cores_[j * half + c], core)
+    net.finalize()
+    return FatTree(net, k, hosts, tors, aggs, cores_, tor_up, tor_down)
+
+
+@dataclass
+class Clos:
+    net: Network
+    hosts: List[Host]
+    tors: List[object]
+    aggs: List[object]
+    cores: List[object]
+    tor_uplink_ports: List[object]
+    oversubscription: float
+
+
+def oversubscribed_clos(
+    sim: Simulator,
+    n_core: int = 4,
+    n_pods: int = 4,
+    n_agg_per_pod: int = 2,
+    n_tor_per_pod: int = 2,
+    hosts_per_tor: int = 6,
+    edge: Optional[LinkSpec] = None,
+    core: Optional[LinkSpec] = None,
+    host_delay: Optional[HostDelayModel] = None,
+) -> Clos:
+    """3-tier Clos with ToR oversubscription (paper's realistic fabric).
+
+    Every ToR connects to every aggregation switch in its pod; every
+    aggregation switch connects to every core.  The ToR oversubscription
+    ratio is ``hosts_per_tor / n_agg_per_pod`` when edge and uplink rates
+    match (the paper's fabric is 3:1).
+    """
+    if n_core % n_agg_per_pod:
+        raise ValueError("n_core must be a multiple of n_agg_per_pod for "
+                         "consistent core grouping")
+    edge = edge or LinkSpec()
+    core = core or edge
+    net = Network(sim, host_delay)
+    cores_ = [net.add_switch(f"core{i}") for i in range(n_core)]
+    tors, aggs, hosts, tor_up = [], [], [], []
+    group = n_core // n_agg_per_pod
+    for pod in range(n_pods):
+        pod_aggs = [net.add_switch(f"agg{pod}_{j}") for j in range(n_agg_per_pod)]
+        aggs.extend(pod_aggs)
+        for j, agg in enumerate(pod_aggs):
+            for c in range(group):
+                net.link(agg, cores_[j * group + c], core)
+        for t in range(n_tor_per_pod):
+            tor = net.add_switch(f"tor{pod}_{t}")
+            tors.append(tor)
+            for agg in pod_aggs:
+                up, _ = net.link(tor, agg, edge)
+                tor_up.append(up)
+            for h in range(hosts_per_tor):
+                host = net.add_host(f"h{pod}_{t}_{h}")
+                net.link(host, tor, edge)
+                hosts.append(host)
+    net.finalize()
+    ratio = hosts_per_tor * edge.rate_bps / (n_agg_per_pod * edge.rate_bps)
+    return Clos(net, hosts, tors, aggs, cores_, tor_up, ratio)

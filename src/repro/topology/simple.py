@@ -1,0 +1,176 @@
+"""Small fixed topologies: dumbbell, star, parking lot, multi-bottleneck."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.host import Host, HostDelayModel
+from repro.net.port import Port
+from repro.sim.engine import Simulator
+from repro.topology.network import LinkSpec, Network
+
+
+@dataclass
+class Dumbbell:
+    """N sender/receiver pairs sharing one bottleneck link."""
+
+    net: Network
+    senders: List[Host]
+    receivers: List[Host]
+    bottleneck_fwd: Port  # left switch -> right switch (data direction)
+    bottleneck_rev: Port  # right switch -> left switch (credit direction)
+
+
+def dumbbell(
+    sim: Simulator,
+    n_pairs: int,
+    edge: Optional[LinkSpec] = None,
+    bottleneck: Optional[LinkSpec] = None,
+    host_delay: Optional[HostDelayModel] = None,
+) -> Dumbbell:
+    """Build a dumbbell: senders—L—(bottleneck)—R—receivers.
+
+    Edge links default to the bottleneck spec, so the middle link is the only
+    constriction when every pair is active.
+    """
+    bottleneck = bottleneck or LinkSpec()
+    edge = edge or bottleneck
+    net = Network(sim, host_delay)
+    left = net.add_switch("L")
+    right = net.add_switch("R")
+    fwd, rev = net.link(left, right, bottleneck)
+    senders, receivers = [], []
+    for i in range(n_pairs):
+        s = net.add_host(f"s{i}")
+        r = net.add_host(f"r{i}")
+        net.link(s, left, edge)
+        net.link(r, right, edge)
+        senders.append(s)
+        receivers.append(r)
+    net.finalize()
+    return Dumbbell(net, senders, receivers, fwd, rev)
+
+
+@dataclass
+class Star:
+    """Hosts hanging off one switch (a single ToR)."""
+
+    net: Network
+    hosts: List[Host]
+    switch: object
+
+
+def single_switch(
+    sim: Simulator,
+    n_hosts: int,
+    link: Optional[LinkSpec] = None,
+    host_delay: Optional[HostDelayModel] = None,
+) -> Star:
+    """One ToR with ``n_hosts`` directly attached (Figs 1, 9, 17)."""
+    link = link or LinkSpec()
+    net = Network(sim, host_delay)
+    tor = net.add_switch("tor")
+    hosts = []
+    for i in range(n_hosts):
+        h = net.add_host(f"h{i}")
+        net.link(h, tor, link)
+        hosts.append(h)
+    net.finalize()
+    return Star(net, hosts, tor)
+
+
+@dataclass
+class ParkingLot:
+    """Fig 10(a): Flow 0 crosses all N bottlenecks; flow i only link i."""
+
+    net: Network
+    long_src: Host
+    long_dst: Host
+    cross_srcs: List[Host]
+    cross_dsts: List[Host]
+    bottleneck_ports: List[Port]  # data-direction port of each bottleneck
+
+
+def parking_lot(
+    sim: Simulator,
+    n_bottlenecks: int,
+    link: Optional[LinkSpec] = None,
+    host_delay: Optional[HostDelayModel] = None,
+) -> ParkingLot:
+    """Chain of ``n_bottlenecks`` links.
+
+    Switch chain SW0—SW1—…—SWN.  The long flow runs SW0→SWN.  Cross flow i
+    (i = 1..N) enters at SW(i-1) and exits at SW(i), so every chain link
+    carries the long flow plus exactly one cross flow.
+    """
+    if n_bottlenecks < 1:
+        raise ValueError("need at least one bottleneck")
+    link = link or LinkSpec()
+    net = Network(sim, host_delay)
+    switches = [net.add_switch(f"sw{i}") for i in range(n_bottlenecks + 1)]
+    bottleneck_ports = []
+    for a, b in zip(switches, switches[1:]):
+        fwd, _ = net.link(a, b, link)
+        bottleneck_ports.append(fwd)
+    long_src = net.add_host("long_src")
+    long_dst = net.add_host("long_dst")
+    net.link(long_src, switches[0], link)
+    net.link(long_dst, switches[-1], link)
+    cross_srcs, cross_dsts = [], []
+    for i in range(n_bottlenecks):
+        cs = net.add_host(f"xs{i}")
+        cd = net.add_host(f"xd{i}")
+        net.link(cs, switches[i], link)
+        net.link(cd, switches[i + 1], link)
+        cross_srcs.append(cs)
+        cross_dsts.append(cd)
+    net.finalize()
+    return ParkingLot(net, long_src, long_dst, cross_srcs, cross_dsts, bottleneck_ports)
+
+
+@dataclass
+class MultiBottleneck:
+    """Fig 11(a): Flow 0 single-bottlenecked, Flows 1..N doubly bottlenecked."""
+
+    net: Network
+    flow0_src: Host
+    flow0_dst_hosts: List[Host]  # destination hosts, one per flow (0..N)
+    cross_srcs: List[Host]
+    link2_port: Port  # the shared bottleneck (data direction)
+
+
+def multi_bottleneck(
+    sim: Simulator,
+    n_cross_flows: int,
+    link: Optional[LinkSpec] = None,
+    host_delay: Optional[HostDelayModel] = None,
+) -> MultiBottleneck:
+    """Fig 11(a): Flows 1..N share Link 1 then Link 2; Flow 0 joins at Link 2.
+
+    With ideal max-min fairness every flow — including Flow 0 — should get
+    1/(N+1) of Link 2.
+    """
+    link = link or LinkSpec()
+    net = Network(sim, host_delay)
+    sw_a = net.add_switch("swA")  # upstream of Link 1
+    sw_b = net.add_switch("swB")  # between Link 1 and Link 2
+    sw_c = net.add_switch("swC")  # downstream of Link 2
+    net.link(sw_a, sw_b, link)          # Link 1
+    link2_fwd, _ = net.link(sw_b, sw_c, link)  # Link 2 (shared bottleneck)
+    flow0_src = net.add_host("f0src")
+    net.link(flow0_src, sw_b, link)     # Link 3: Flow 0 enters at swB
+    cross_srcs = []
+    dsts = []
+    d0 = net.add_host("f0dst")
+    net.link(d0, sw_c, link)
+    dsts.append(d0)
+    for i in range(n_cross_flows):
+        s = net.add_host(f"xs{i}")
+        net.link(s, sw_a, link)
+        d = net.add_host(f"xd{i}")
+        net.link(d, sw_c, link)
+        cross_srcs.append(s)
+        dsts.append(d)
+    net.finalize()
+    return MultiBottleneck(net, flow0_src, dsts, cross_srcs, link2_fwd)

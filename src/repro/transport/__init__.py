@@ -1,0 +1,44 @@
+"""Transport protocols: the paper's baselines plus shared flow machinery.
+
+* :mod:`repro.transport.base` — flow lifecycle, reliable windowed transfer,
+  paced rate-based transfer.
+* :mod:`repro.transport.tcp` — TCP Reno and CUBIC (Fig 2).
+* :mod:`repro.transport.dctcp` — DCTCP (ECN fraction feedback).
+* :mod:`repro.transport.rcp` — RCP explicit per-link rates.
+* :mod:`repro.transport.hull` — HULL (phantom queues + paced DCTCP).
+* :mod:`repro.transport.dx` — DX (delay-based feedback).
+* :mod:`repro.transport.ideal` — hypothetical oracle rate control (Fig 1a).
+
+ExpressPass itself — the paper's contribution — lives in :mod:`repro.core`.
+"""
+
+from repro.transport.base import Flow, RateFlow, WindowFlow
+from repro.transport.tcp import CubicFlow, RenoFlow
+from repro.transport.dctcp import DctcpFlow, dctcp_marking_threshold_bytes
+from repro.transport.rcp import RcpFlow, RcpLinkController, install_rcp
+from repro.transport.hull import HullFlow, install_phantom_queues
+from repro.transport.dx import DxFlow
+from repro.transport.dcqcn import DcqcnFlow, install_dcqcn_marking
+from repro.transport.timely import TimelyFlow
+from repro.transport.ideal import IdealFlow, OracleRateController
+
+__all__ = [
+    "Flow",
+    "WindowFlow",
+    "RateFlow",
+    "RenoFlow",
+    "CubicFlow",
+    "DctcpFlow",
+    "dctcp_marking_threshold_bytes",
+    "RcpFlow",
+    "RcpLinkController",
+    "install_rcp",
+    "HullFlow",
+    "install_phantom_queues",
+    "DxFlow",
+    "DcqcnFlow",
+    "install_dcqcn_marking",
+    "TimelyFlow",
+    "IdealFlow",
+    "OracleRateController",
+]

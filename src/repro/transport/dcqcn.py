@@ -1,0 +1,137 @@
+"""DCQCN (Zhu et al., SIGCOMM 2015) — ECN-based rate control for RDMA.
+
+The paper discusses DCQCN as the deployed RDMA congestion control it aims
+to replace (§8).  Mechanics reproduced here:
+
+* **Switch**: RED-style probabilistic ECN marking between K_min and K_max
+  (``DataQueue.set_red_marking``), typically with PFC underneath for
+  losslessness (:mod:`repro.net.pfc`).
+* **Receiver (NP)**: on receiving a marked packet, returns a CNP
+  (congestion notification packet) at most once per ``cnp_interval``.
+* **Sender (RP)**: on CNP, saves the target rate and cuts the current rate
+  by ``alpha/2``; ``alpha`` is an EWMA of congestion.  Without CNPs it
+  recovers in stages: *fast recovery* (current rate halves its distance to
+  the target a few times), then *additive increase* of the target, then
+  *hyper increase* — per the published state machine, simplified to the
+  byte-counter-free timer form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.port import Port
+from repro.sim.units import MS, US
+from repro.transport.base import RateFlow
+
+
+def install_dcqcn_marking(ports, kmin_bytes: int = 5 * 1538,
+                          kmax_bytes: int = 200 * 1538,
+                          pmax: float = 0.01, sim=None) -> None:
+    """Configure RED/ECN marking on every port (DCQCN's switch half)."""
+    for port in ports:
+        rng = (sim or port.sim).rng("dcqcn-red")
+        port.data_queue.set_red_marking(kmin_bytes, kmax_bytes, pmax, rng)
+
+
+class DcqcnFlow(RateFlow):
+    """A DCQCN rate-controlled sender (RP) + CNP-generating receiver (NP)."""
+
+    #: ECN-capable data so switches can mark it.
+    CNP_WIRE_BYTES = 84
+
+    def __init__(self, src, dst, size_bytes, start_ps=0, *,
+                 g: float = 1 / 16,
+                 rate_ai_bps: float = 40e6,
+                 rate_hai_bps: float = 400e6,
+                 cnp_interval_ps: int = 50 * US,
+                 recovery_period_ps: int = 55 * US,
+                 fast_recovery_stages: int = 5,
+                 **kwargs):
+        kwargs.setdefault("initial_rate_bps", float(src.nic.rate_bps))
+        super().__init__(src, dst, size_bytes, start_ps, **kwargs)
+        self.g = g
+        self.alpha = 1.0
+        self.rate_target_bps = self.rate_bps
+        self.rate_ai_bps = rate_ai_bps
+        self.rate_hai_bps = rate_hai_bps
+        self.cnp_interval_ps = cnp_interval_ps
+        self.recovery_period_ps = recovery_period_ps
+        self.fast_recovery_stages = fast_recovery_stages
+        self.cnps_received = 0
+        self._stage = 0  # recovery stages completed since last CNP
+        self._last_cnp_tx_ps = -(1 << 62)  # receiver-side CNP throttle
+        self._alpha_timer = None
+        self._recovery_timer = self.sim.schedule_at(
+            max(start_ps, self.sim.now) + recovery_period_ps,
+            self._recovery_tick)
+
+    # ---------------------------------------------------------------- sender
+    ecn_capable = True  # switches may mark our data
+
+    def _on_cnp(self) -> None:
+        self.cnps_received += 1
+        self.alpha = (1 - self.g) * self.alpha + self.g
+        self.rate_target_bps = self.rate_bps
+        self.rate_bps = max(self.rate_bps * (1 - self.alpha / 2), 1e7)
+        self._stage = 0
+        self.rate_changed()
+        self._arm_alpha_decay()
+
+    def _arm_alpha_decay(self) -> None:
+        if self._alpha_timer is not None:
+            self._alpha_timer.cancel()
+        self._alpha_timer = self.sim.schedule(self.recovery_period_ps,
+                                              self._alpha_decay)
+
+    def _alpha_decay(self) -> None:
+        self._alpha_timer = None
+        self.alpha *= (1 - self.g)
+        if self.alpha > 1e-3 and not self._stopped:
+            self._arm_alpha_decay()
+
+    def _recovery_tick(self) -> None:
+        self._recovery_timer = None
+        if self._stopped or self.completed:
+            return
+        line_rate = float(self.src.nic.rate_bps)
+        if self._stage < self.fast_recovery_stages:
+            # Fast recovery: close half the gap to the target each period.
+            self.rate_bps = (self.rate_bps + self.rate_target_bps) / 2
+        elif self._stage < 2 * self.fast_recovery_stages:
+            self.rate_target_bps = min(self.rate_target_bps + self.rate_ai_bps,
+                                       line_rate)
+            self.rate_bps = (self.rate_bps + self.rate_target_bps) / 2
+        else:
+            self.rate_target_bps = min(self.rate_target_bps + self.rate_hai_bps,
+                                       line_rate)
+            self.rate_bps = (self.rate_bps + self.rate_target_bps) / 2
+        self._stage += 1
+        self.rate_bps = min(self.rate_bps, line_rate)
+        self.rate_changed()
+        self._recovery_timer = self.sim.schedule(self.recovery_period_ps,
+                                                 self._recovery_tick)
+
+    def stop(self) -> None:
+        super().stop()
+        for event in (self._recovery_timer, self._alpha_timer):
+            if event is not None:
+                event.cancel()
+
+    # -------------------------------------------------------------- receiver
+    def _at_receiver(self, pkt: Packet) -> None:
+        if (pkt.kind == PacketKind.DATA and pkt.ecn_marked
+                and self.sim.now - self._last_cnp_tx_ps >= self.cnp_interval_ps):
+            self._last_cnp_tx_ps = self.sim.now
+            cnp = Packet(PacketKind.CONTROL, self.dst.id, self.src.id,
+                         flow=self, credit_seq=-99,
+                         wire_bytes=self.CNP_WIRE_BYTES)
+            self.dst.send(cnp)
+        super()._at_receiver(pkt)
+
+    def _at_sender(self, pkt: Packet) -> None:
+        if pkt.kind == PacketKind.CONTROL and pkt.credit_seq == -99:
+            self._on_cnp()
+            return
+        super()._at_sender(pkt)

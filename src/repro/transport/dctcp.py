@@ -1,0 +1,76 @@
+"""DCTCP (Alizadeh et al., SIGCOMM 2010).
+
+Switch side: instantaneous-queue ECN marking at threshold K (configured via
+``LinkSpec.ecn_threshold_bytes``; :func:`dctcp_marking_threshold_bytes` gives
+the paper-recommended K for a link speed).  Sender side: the fraction of
+marked packets per window feeds an EWMA ``alpha``; once per window the
+congestion window shrinks by ``alpha / 2``.
+
+The ExpressPass paper's footnote 4 uses K = 65 packets (10 G, g = 0.0625)
+and K = 650 packets (100 G, g = 0.01976); we reproduce those defaults,
+scaling linearly in link rate.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import DATA_WIRE_MAX
+from repro.sim.units import GBPS
+from repro.transport.base import WindowFlow
+
+
+def dctcp_marking_threshold_bytes(link_rate_bps: int) -> int:
+    """Paper footnote 4: K = 65 packets at 10 Gbit/s, linear in rate."""
+    packets = max(1, round(65 * link_rate_bps / (10 * GBPS)))
+    return packets * DATA_WIRE_MAX
+
+
+def dctcp_gain(link_rate_bps: int) -> float:
+    """Paper footnote 4: g = 0.0625 at 10 G, 0.01976 at 100 G.
+
+    g scales like 1/sqrt(K); we interpolate that way between the two
+    published anchors.
+    """
+    return min(0.4, 0.0625 * (10 * GBPS / link_rate_bps) ** 0.5)
+
+
+class DctcpFlow(WindowFlow):
+    """DCTCP sender.  ``g`` defaults to the 10 G setting."""
+
+    ecn_capable = True
+    init_cwnd = 2.0
+    min_cwnd = 2.0  # Linux DCTCP floors the window at 2 segments
+
+    def __init__(self, *args, g: float = 0.0625, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.g = g
+        self.alpha = 1.0  # start conservative, as in the DCTCP paper
+        self.ssthresh = float("inf")
+        self._cut_this_round = False
+
+    def cc_on_ack(self, newly_acked, ecn_echo, rtt_sample_ps) -> None:
+        if newly_acked <= 0:
+            return
+        if ecn_echo and not self._cut_this_round:
+            # React at most once per window of data (standard DCTCP).
+            self.cwnd = max(self.cwnd * (1 - self.alpha / 2), self.min_cwnd)
+            self.ssthresh = self.cwnd
+            self._cut_this_round = True
+        elif not ecn_echo:
+            if self.cwnd < self.ssthresh:
+                self.cwnd += newly_acked
+            else:
+                self.cwnd += newly_acked / self.cwnd
+
+    def cc_on_round(self, acks, marks, avg_rtt_ps) -> None:
+        if acks > 0:
+            fraction = marks / acks
+            self.alpha = (1 - self.g) * self.alpha + self.g * fraction
+        self._cut_this_round = False
+
+    def cc_on_dupack_loss(self) -> None:
+        self.ssthresh = max(self.cwnd / 2, self.min_cwnd)
+        self.cwnd = self.ssthresh
+
+    def cc_on_timeout(self) -> None:
+        self.ssthresh = max(self.cwnd / 2, self.min_cwnd)
+        self.cwnd = self.min_cwnd

@@ -1,0 +1,33 @@
+"""HULL (Alizadeh et al., NSDI 2012): phantom queues + paced DCTCP.
+
+Each link runs a *phantom queue* draining at γ·C (γ = 0.95 by default); when
+the virtual backlog exceeds the marking threshold, ECN-capable packets are
+marked even though the real queue is nearly empty.  Senders are DCTCP with
+hardware-style pacing, so utilization is capped slightly below capacity and
+queueing delay stays close to zero — the "less is more" trade.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.net.port import Port
+from repro.net.queues import PhantomQueue
+from repro.transport.dctcp import DctcpFlow
+
+
+def install_phantom_queues(ports: Iterable[Port], gamma: float = 0.95,
+                           mark_threshold_bytes: int = 3_000) -> None:
+    """Attach a phantom queue to every port in ``ports``.
+
+    The HULL paper uses a 1 KB threshold at 1 Gbit/s and suggests scaling
+    with speed; 3 KB is our 10 G default (configurable per experiment).
+    """
+    for port in ports:
+        port.phantom = PhantomQueue(port.rate_bps, gamma, mark_threshold_bytes)
+
+
+class HullFlow(DctcpFlow):
+    """A paced DCTCP sender — HULL's end-host half."""
+
+    paced = True

@@ -1,0 +1,121 @@
+"""The hypothetical *ideal* rate control of §2 (Fig 1a).
+
+An omniscient oracle instantly assigns every flow its max-min fair share
+(progressive water-filling over the flows' actual paths) whenever any flow
+starts or finishes, and every sender paces perfectly at its assigned rate.
+The point of the experiment: even this ideal still builds a queue that grows
+with the number of flows, because independently paced flows collide at the
+bottleneck — only credit scheduling bounds it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.net.host import Host
+from repro.net.packet import DATA_WIRE_MAX, Packet
+from repro.net.port import Port
+from repro.transport.base import Flow, RateFlow
+
+
+def compute_path_ports(flow: Flow) -> List[Port]:
+    """The egress ports a data packet of ``flow`` traverses, in order.
+
+    Walks the same routing tables and ECMP hash the switches use, so the
+    result is exactly the path the packets will take.
+    """
+    probe = Packet(kind=0, src=flow.src.id, dst=flow.dst.id, flow=flow)
+    path: List[Port] = []
+    node = flow.src
+    hop_budget = 64
+    while node.id != flow.dst.id:
+        if hasattr(node, "table"):  # switch
+            candidates = node.table[flow.dst.id]
+            next_hop = (candidates[0] if len(candidates) == 1
+                        else candidates[flow.path_hash(probe) % len(candidates)])
+            port = node.ports[next_hop]
+        else:  # host: single NIC
+            port = node.nic
+        path.append(port)
+        node = port.peer
+        hop_budget -= 1
+        if hop_budget <= 0:  # pragma: no cover - routing bug guard
+            raise RuntimeError("routing loop while tracing path")
+    return path
+
+
+def max_min_rates(flows_paths: Dict[Flow, List[Port]],
+                  capacity_fraction: float = 1.0) -> Dict[Flow, float]:
+    """Progressive-filling max-min allocation in bits/s.
+
+    ``capacity_fraction`` discounts link capacity (e.g. 0.95 to leave ACK or
+    credit headroom).
+    """
+    remaining: Dict[Port, float] = {}
+    port_flows: Dict[Port, Set[Flow]] = {}
+    for flow, path in flows_paths.items():
+        for port in path:
+            remaining.setdefault(port, port.rate_bps * capacity_fraction)
+            port_flows.setdefault(port, set()).add(flow)
+    rates: Dict[Flow, float] = {}
+    unfrozen: Set[Flow] = set(flows_paths)
+    while unfrozen:
+        # The tightest port determines the next freezing level.
+        best_port, best_share = None, float("inf")
+        for port, members in port_flows.items():
+            active = members & unfrozen
+            if not active:
+                continue
+            share = remaining[port] / len(active)
+            if share < best_share:
+                best_share, best_port = share, port
+        if best_port is None:
+            for flow in unfrozen:  # flows with no constrained port
+                rates[flow] = float("inf")
+            break
+        newly_frozen = port_flows[best_port] & unfrozen
+        for flow in newly_frozen:
+            rates[flow] = best_share
+            unfrozen.discard(flow)
+            for port in flows_paths[flow]:
+                remaining[port] -= best_share
+        del port_flows[best_port]
+    return rates
+
+
+class OracleRateController:
+    """Tracks active :class:`IdealFlow` s and re-runs water-filling on churn."""
+
+    def __init__(self, capacity_fraction: float = 0.98):
+        # A small headroom keeps the bottleneck from being overdriven by
+        # wire-size rounding; the paper's ideal sender is loss-free too.
+        self.capacity_fraction = capacity_fraction
+        self._flows: Dict[Flow, List[Port]] = {}
+
+    def register(self, flow: "IdealFlow") -> None:
+        self._flows[flow] = compute_path_ports(flow)
+        self._reassign()
+
+    def unregister(self, flow: "IdealFlow") -> None:
+        self._flows.pop(flow, None)
+        self._reassign()
+
+    def _reassign(self) -> None:
+        for flow, rate in max_min_rates(self._flows, self.capacity_fraction).items():
+            flow.rate_bps = rate
+            flow.rate_changed()
+
+
+class IdealFlow(RateFlow):
+    """A sender paced at the oracle's current assignment."""
+
+    def __init__(self, src: Host, dst: Host, size_bytes, start_ps=0, *,
+                 oracle: OracleRateController, **kwargs):
+        super().__init__(src, dst, size_bytes, start_ps,
+                         initial_rate_bps=1.0, **kwargs)
+        self.oracle = oracle
+        self.on_complete.append(lambda f: oracle.unregister(f))
+
+    def begin(self) -> None:
+        self.oracle.register(self)
+        super().begin()

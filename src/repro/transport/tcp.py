@@ -1,0 +1,90 @@
+"""Loss-based TCP baselines: Reno and CUBIC (used in Fig 2)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.units import SEC
+from repro.transport.base import WindowFlow
+
+
+class RenoFlow(WindowFlow):
+    """TCP New-Reno-style congestion control.
+
+    Slow start doubles per RTT until ``ssthresh``; congestion avoidance adds
+    one segment per RTT; duplicate-ACK loss halves the window; a timeout
+    collapses it to one segment.
+    """
+
+    init_cwnd = 2.0
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.ssthresh = float("inf")
+
+    def cc_on_ack(self, newly_acked, ecn_echo, rtt_sample_ps) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked  # slow start
+        else:
+            self.cwnd += newly_acked / self.cwnd  # congestion avoidance
+
+    def cc_on_dupack_loss(self) -> None:
+        self.ssthresh = max(self.cwnd / 2, self.min_cwnd)
+        self.cwnd = self.ssthresh
+
+    def cc_on_timeout(self) -> None:
+        self.ssthresh = max(self.cwnd / 2, self.min_cwnd)
+        self.cwnd = self.min_cwnd
+
+
+class CubicFlow(WindowFlow):
+    """TCP CUBIC: window grows as C·(t − K)³ + W_max since the last loss.
+
+    Parameters follow the CUBIC paper: C = 0.4, β = 0.7 (multiplicative
+    decrease keeps 70 % of the window).  During slow start it behaves like
+    Reno until the first loss event.
+    """
+
+    init_cwnd = 2.0
+    C = 0.4  # scaling constant (segments / s^3)
+    BETA = 0.7
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.ssthresh = float("inf")
+        self._w_max = 0.0
+        self._epoch_start_ps: Optional[int] = None
+        self._k_seconds = 0.0
+
+    def _cubic_window(self) -> float:
+        t = (self.sim.now - self._epoch_start_ps) / SEC
+        return self.C * (t - self._k_seconds) ** 3 + self._w_max
+
+    def cc_on_ack(self, newly_acked, ecn_echo, rtt_sample_ps) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked
+            return
+        if self._epoch_start_ps is None:
+            self._epoch_start_ps = self.sim.now
+            self._w_max = max(self._w_max, self.cwnd)
+            self._k_seconds = ((self._w_max * (1 - self.BETA)) / self.C) ** (1 / 3)
+        target = self._cubic_window()
+        if target > self.cwnd:
+            # Approach the cubic target within roughly one RTT.
+            self.cwnd += (target - self.cwnd) / max(self.cwnd, 1.0) * newly_acked
+        else:
+            self.cwnd += newly_acked / (100.0 * self.cwnd)  # TCP-friendly probe
+
+    def _on_loss(self) -> None:
+        self._w_max = self.cwnd
+        self.cwnd = max(self.cwnd * self.BETA, self.min_cwnd)
+        self.ssthresh = self.cwnd
+        self._epoch_start_ps = self.sim.now
+        self._k_seconds = ((self._w_max * (1 - self.BETA)) / self.C) ** (1 / 3)
+
+    def cc_on_dupack_loss(self) -> None:
+        self._on_loss()
+
+    def cc_on_timeout(self) -> None:
+        self._on_loss()
+        self.cwnd = self.min_cwnd

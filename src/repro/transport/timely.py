@@ -1,0 +1,94 @@
+"""TIMELY (Mittal et al., SIGCOMM 2015) — RTT-gradient rate control.
+
+The other deployed RDMA congestion control the paper positions against
+(§8): no switch support at all; the NIC measures RTT with sub-microsecond
+precision and adjusts a pacing rate from the *gradient* of the RTT:
+
+* RTT < T_low  → additive increase (the queue is empty; grab bandwidth).
+* RTT > T_high → multiplicative decrease ∝ (1 − T_high/RTT) (hard brake).
+* otherwise    → gradient mode: a normalized smoothed RTT slope; negative
+  slope → additive increase (with hyperactive increase after ``hai_n``
+  consecutive ones), positive slope → rate *= (1 − β·gradient).
+
+Like DCQCN it is usually deployed over PFC (:mod:`repro.net.pfc`); without
+PFC the reliability machinery of :class:`~repro.transport.base.RateFlow`
+recovers any losses.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet, PacketKind
+from repro.sim.units import US
+from repro.transport.base import RateFlow
+
+
+class TimelyFlow(RateFlow):
+    """A TIMELY rate-controlled sender."""
+
+    def __init__(self, src, dst, size_bytes, start_ps=0, *,
+                 t_low_ps: int = 50 * US,
+                 t_high_ps: int = 500 * US,
+                 additive_bps: float = 10e6,
+                 beta: float = 0.8,
+                 ewma_alpha: float = 0.3,
+                 hai_n: int = 5,
+                 min_rtt_hint_ps: int = 20 * US,
+                 **kwargs):
+        kwargs.setdefault("initial_rate_bps", float(src.nic.rate_bps) / 10)
+        super().__init__(src, dst, size_bytes, start_ps, **kwargs)
+        self.t_low_ps = t_low_ps
+        self.t_high_ps = t_high_ps
+        self.additive_bps = additive_bps
+        self.beta = beta
+        self.ewma_alpha = ewma_alpha
+        self.hai_n = hai_n
+        self.min_rtt_ps = min_rtt_hint_ps  # normalization for the gradient
+        self._prev_rtt_ps = None
+        self._rtt_diff_ps = 0.0
+        self._consecutive_increases = 0
+        self.decreases = 0
+        self.increases = 0
+
+    def cc_on_ack(self, pkt: Packet) -> None:
+        if pkt.kind != PacketKind.ACK or pkt.sent_ts < 0:
+            return
+        rtt = self.sim.now - pkt.sent_ts
+        if rtt < self.min_rtt_ps:
+            self.min_rtt_ps = rtt
+        self._update_rate(rtt)
+
+    def _update_rate(self, rtt_ps: int) -> None:
+        line_rate = float(self.src.nic.rate_bps)
+        if self._prev_rtt_ps is None:
+            self._prev_rtt_ps = rtt_ps
+            return
+        new_diff = rtt_ps - self._prev_rtt_ps
+        self._prev_rtt_ps = rtt_ps
+        self._rtt_diff_ps = ((1 - self.ewma_alpha) * self._rtt_diff_ps
+                             + self.ewma_alpha * new_diff)
+        gradient = self._rtt_diff_ps / self.min_rtt_ps
+
+        if rtt_ps < self.t_low_ps:
+            self._increase(line_rate, hyper=False)
+        elif rtt_ps > self.t_high_ps:
+            self.rate_bps = max(
+                self.rate_bps * (1 - self.beta * (1 - self.t_high_ps / rtt_ps)),
+                1e7)
+            self._consecutive_increases = 0
+            self.decreases += 1
+            self.rate_changed()
+        elif gradient <= 0:
+            hyper = self._consecutive_increases >= self.hai_n
+            self._increase(line_rate, hyper=hyper)
+        else:
+            self.rate_bps = max(
+                self.rate_bps * (1 - self.beta * min(gradient, 1.0)), 1e7)
+            self._consecutive_increases = 0
+            self.decreases += 1
+            self.rate_changed()
+
+    def _increase(self, line_rate: float, hyper: bool) -> None:
+        step = self.additive_bps * (self.hai_n if hyper else 1)
+        self.rate_bps = min(self.rate_bps + step, line_rate)
+        self._consecutive_increases += 1
+        self.increases += 1

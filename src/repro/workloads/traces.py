@@ -1,0 +1,72 @@
+"""Workload traces: save and replay FlowSpec sequences as CSV.
+
+A trace pins a workload exactly — across processes, protocol comparisons,
+and code versions — where regenerating from a seed only pins it for one
+code version.  Format: a header line, then one flow per line::
+
+    # repro-flow-trace v1
+    src,dst,size_bytes,start_ps
+    3,7,45000,1200000
+
+Writers/readers are strict: malformed lines raise rather than silently
+skew an experiment.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.workloads.generators import FlowSpec
+
+_HEADER = "# repro-flow-trace v1"
+_COLUMNS = "src,dst,size_bytes,start_ps"
+
+
+def dump_trace(specs: Iterable[FlowSpec], target: Union[str, Path, io.TextIOBase]) -> int:
+    """Write ``specs`` as a trace; returns the number of flows written."""
+    own = isinstance(target, (str, Path))
+    fh = open(target, "w") if own else target
+    try:
+        fh.write(_HEADER + "\n")
+        fh.write(_COLUMNS + "\n")
+        count = 0
+        for spec in specs:
+            fh.write(f"{spec.src},{spec.dst},{spec.size_bytes},{spec.start_ps}\n")
+            count += 1
+        return count
+    finally:
+        if own:
+            fh.close()
+
+
+def load_trace(source: Union[str, Path, io.TextIOBase]) -> List[FlowSpec]:
+    """Read a trace written by :func:`dump_trace`."""
+    own = isinstance(source, (str, Path))
+    fh = open(source) if own else source
+    try:
+        header = fh.readline().rstrip("\n")
+        if header != _HEADER:
+            raise ValueError(f"not a flow trace (header {header!r})")
+        columns = fh.readline().rstrip("\n")
+        if columns != _COLUMNS:
+            raise ValueError(f"unexpected columns {columns!r}")
+        specs = []
+        for lineno, line in enumerate(fh, start=3):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: expected 4 fields, got {line!r}")
+            src, dst, size, start = (int(p) for p in parts)
+            if src == dst:
+                raise ValueError(f"line {lineno}: src == dst == {src}")
+            if size <= 0 or start < 0:
+                raise ValueError(f"line {lineno}: bad size/start in {line!r}")
+            specs.append(FlowSpec(src, dst, size, start))
+        return specs
+    finally:
+        if own:
+            fh.close()

@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Simulator
+from repro.sim.units import GBPS, US
+from repro.topology import LinkSpec, dumbbell, single_switch
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+def small_dumbbell(sim, n_pairs=2, rate=10 * GBPS, **spec_kwargs):
+    """A 10G dumbbell with 4 us links (RTT ~26 us)."""
+    spec = LinkSpec(rate_bps=rate, prop_delay_ps=4 * US, **spec_kwargs)
+    return dumbbell(sim, n_pairs=n_pairs, bottleneck=spec)
+
+
+def small_star(sim, n_hosts=4, rate=10 * GBPS, **spec_kwargs):
+    spec = LinkSpec(rate_bps=rate, prop_delay_ps=2 * US, **spec_kwargs)
+    return single_switch(sim, n_hosts, link=spec)

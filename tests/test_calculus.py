@@ -1,0 +1,99 @@
+"""Tests for the network-calculus buffer bounds (Table 1 / Fig 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calculus import TopologyParams, buffer_bounds, tor_switch_buffer_breakdown
+from repro.sim.units import GBPS, US
+
+
+def params(host=10, core=40, credits=8, spread_us=5.1):
+    return TopologyParams(
+        host_rate_bps=host * GBPS,
+        core_rate_bps=core * GBPS,
+        credit_queue_pkts=credits,
+        host_delay_spread_ps=int(spread_us * US),
+    )
+
+
+class TestShape:
+    """The paper's qualitative claims about Table 1."""
+
+    @pytest.mark.parametrize("mode", ["literal", "tight"])
+    def test_tor_down_is_largest(self, mode):
+        b = buffer_bounds(params(), mode)
+        assert b.tor_down_bytes > b.tor_up_bytes
+        assert b.tor_down_bytes > b.core_bytes / 4  # ToR down dominates per-port
+
+    @pytest.mark.parametrize("mode", ["literal", "tight"])
+    def test_uplinks_need_less_than_downlinks(self, mode):
+        b = buffer_bounds(params(), mode)
+        assert b.tor_up_bytes < b.tor_down_bytes
+
+    def test_sublinear_growth_with_link_speed(self):
+        slow = buffer_bounds(params(10, 40))
+        fast = buffer_bounds(params(40, 100))
+        # 4x the edge speed needs well under 4x the buffer.
+        assert fast.tor_down_bytes < 4 * slow.tor_down_bytes
+
+    def test_literal_matches_paper_tor_down_within_30pct(self):
+        b = buffer_bounds(params(10, 40), "literal")
+        assert b.tor_down_bytes == pytest.approx(577_300, rel=0.30)
+
+    def test_tight_matches_paper_tor_up_within_20pct(self):
+        b = buffer_bounds(params(10, 40), "tight")
+        assert b.tor_up_bytes == pytest.approx(19_000, rel=0.20)
+        b2 = buffer_bounds(params(40, 100), "tight")
+        assert b2.tor_up_bytes == pytest.approx(37_200, rel=0.20)
+
+
+class TestMonotonicity:
+    def test_smaller_credit_queue_shrinks_bound(self):
+        big = buffer_bounds(params(credits=8))
+        small = buffer_bounds(params(credits=4))
+        assert small.tor_down_bytes < big.tor_down_bytes
+        assert small.core_bytes < big.core_bytes
+
+    def test_smaller_host_spread_shrinks_bound(self):
+        soft = buffer_bounds(params(spread_us=5.1))
+        hw = buffer_bounds(params(spread_us=1.0))
+        assert hw.tor_down_bytes < soft.tor_down_bytes
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            buffer_bounds(params(), "bogus")
+
+
+class TestFig5Breakdown:
+    def test_parts_sum_to_total(self):
+        breakdown = tor_switch_buffer_breakdown(params(), k=32)
+        parts = (breakdown["static_credit"] + breakdown["host_delay"]
+                 + breakdown["credit_queue"] + breakdown["base"])
+        assert parts == pytest.approx(breakdown["total"], rel=0.01)
+
+    def test_hw_nic_setting_is_smaller(self):
+        soft = tor_switch_buffer_breakdown(params(credits=8, spread_us=5.1))
+        hw = tor_switch_buffer_breakdown(params(credits=4, spread_us=1.0))
+        assert hw["total"] < soft["total"]
+
+    def test_total_fits_commodity_buffers(self):
+        # §3.1: shallow 10GbE switches have 9-16 MB shared buffer.
+        breakdown = tor_switch_buffer_breakdown(params(10, 40), k=32)
+        assert breakdown["total"] < 16e6
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    host=st.sampled_from([10, 25, 40, 100]),
+    core_mult=st.sampled_from([1, 2, 4]),
+    credits=st.integers(min_value=1, max_value=16),
+    spread=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_bounds_always_positive_and_ordered(host, core_mult, credits, spread):
+    p = params(host, host * core_mult, credits, spread)
+    for mode in ("literal", "tight"):
+        b = buffer_bounds(p, mode)
+        assert b.tor_down_bytes > 0
+        assert b.tor_up_bytes > 0
+        assert b.core_bytes > 0
+        assert b.tor_down_bytes >= b.tor_up_bytes

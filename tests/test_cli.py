@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_value, main
+
+
+class TestParseValue:
+    def test_int(self):
+        assert _parse_value("42") == 42
+
+    def test_float(self):
+        assert _parse_value("0.5") == 0.5
+
+    def test_tuple(self):
+        assert _parse_value("4,16,64") == (4, 16, 64)
+
+    def test_bool(self):
+        assert _parse_value("true") is True
+        assert _parse_value("False") is False
+
+    def test_string(self):
+        assert _parse_value("web_search") == "web_search"
+
+    def test_mixed_tuple(self):
+        assert _parse_value("expresspass,dctcp") == ("expresspass", "dctcp")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table1" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "tor_down_kb" in out
+
+    def test_run_with_override(self, capsys):
+        assert main(["run", "fig12", "--set", "n_flows=4",
+                     "--set", "periods=50"]) == 0
+        out = capsys.readouterr().out
+        assert "w_min" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "fig12", "--set", "periods=50", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"]
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_bad_set_syntax_errors(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--set", "oops"])

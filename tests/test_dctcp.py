@@ -1,0 +1,98 @@
+"""Tests for DCTCP: marking, alpha estimation, window scaling."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, SEC, US
+from repro.transport.dctcp import (
+    DctcpFlow,
+    dctcp_gain,
+    dctcp_marking_threshold_bytes,
+)
+
+from tests.conftest import small_dumbbell
+
+
+class TestParameters:
+    def test_k_at_10g_is_65_packets(self):
+        assert dctcp_marking_threshold_bytes(10 * GBPS) == 65 * 1538
+
+    def test_k_at_100g_is_650_packets(self):
+        assert dctcp_marking_threshold_bytes(100 * GBPS) == 650 * 1538
+
+    def test_gain_matches_paper_anchors(self):
+        assert dctcp_gain(10 * GBPS) == pytest.approx(0.0625)
+        assert dctcp_gain(100 * GBPS) == pytest.approx(0.01976, rel=0.05)
+
+
+class TestAlphaEstimator:
+    def test_alpha_decays_without_marks(self, sim):
+        topo = small_dumbbell(sim)
+        flow = DctcpFlow(topo.senders[0], topo.receivers[0], None)
+        flow.alpha = 1.0
+        for _ in range(10):
+            flow.cc_on_round(acks=10, marks=0, avg_rtt_ps=None)
+        assert flow.alpha == pytest.approx((1 - flow.g) ** 10)
+
+    def test_alpha_rises_with_marks(self, sim):
+        topo = small_dumbbell(sim)
+        flow = DctcpFlow(topo.senders[0], topo.receivers[0], None)
+        flow.alpha = 0.0
+        flow.cc_on_round(acks=10, marks=10, avg_rtt_ps=None)
+        assert flow.alpha == pytest.approx(flow.g)
+
+    def test_window_cut_scales_with_alpha(self, sim):
+        topo = small_dumbbell(sim)
+        flow = DctcpFlow(topo.senders[0], topo.receivers[0], None)
+        flow.alpha = 0.5
+        flow.cwnd = 40.0
+        flow.cc_on_ack(1, ecn_echo=True, rtt_sample_ps=None)
+        assert flow.cwnd == pytest.approx(40.0 * 0.75)
+
+    def test_cut_at_most_once_per_round(self, sim):
+        topo = small_dumbbell(sim)
+        flow = DctcpFlow(topo.senders[0], topo.receivers[0], None)
+        flow.alpha = 1.0
+        flow.cwnd = 40.0
+        flow.cc_on_ack(1, True, None)
+        after_first = flow.cwnd
+        flow.cc_on_ack(1, True, None)
+        assert flow.cwnd == after_first
+        flow.cc_on_round(10, 2, None)  # round boundary re-arms the cut
+        flow.cc_on_ack(1, True, None)
+        assert flow.cwnd < after_first
+
+    def test_min_cwnd_floor_is_two(self, sim):
+        topo = small_dumbbell(sim)
+        flow = DctcpFlow(topo.senders[0], topo.receivers[0], None)
+        flow.alpha = 1.0
+        flow.cwnd = 2.0
+        flow.cc_on_ack(1, True, None)
+        assert flow.cwnd == 2.0
+
+
+class TestEndToEnd:
+    def test_steady_queue_near_marking_threshold(self):
+        sim = Simulator(seed=1)
+        k = dctcp_marking_threshold_bytes(10 * GBPS)
+        topo = small_dumbbell(sim, n_pairs=2, ecn_threshold_bytes=k)
+        flows = [DctcpFlow(s, r, None)
+                 for s, r in zip(topo.senders, topo.receivers)]
+        sim.run(until=50 * MS)
+        for f in flows:
+            f.stop()
+        max_queue = topo.net.max_data_queue_bytes()
+        # Queue hovers around K (some overshoot in slow start) and the link
+        # is fully used.
+        assert k * 0.5 < max_queue
+        delivered = sum(f.bytes_delivered for f in flows)
+        assert delivered * 8 / 0.05 > 8e9
+
+    def test_transfer_completes_with_marking(self):
+        sim = Simulator(seed=1)
+        k = dctcp_marking_threshold_bytes(10 * GBPS)
+        topo = small_dumbbell(sim, ecn_threshold_bytes=k)
+        flow = DctcpFlow(topo.senders[0], topo.receivers[0], 2_000_000)
+        sim.run(until=SEC)
+        assert flow.completed
+        assert flow.bytes_delivered == 2_000_000

@@ -1,0 +1,137 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self, sim):
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, sim):
+        order = []
+        for tag in "abc":
+            sim.schedule(5, order.append, tag)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(123, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [123]
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+
+        def outer():
+            sim.schedule(5, lambda: seen.append(sim.now))
+
+        sim.schedule(10, outer)
+        sim.run()
+        assert seen == [15]
+
+    def test_cannot_schedule_in_past(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(10, fired.append, 1)
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_double_cancel_is_safe(self, sim):
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.run() == 0
+
+    def test_cancel_from_another_event(self, sim):
+        fired = []
+        later = sim.schedule(20, fired.append, "later")
+        sim.schedule(10, later.cancel)
+        sim.run()
+        assert fired == []
+
+
+class TestRunControl:
+    def test_until_is_inclusive(self, sim):
+        fired = []
+        sim.schedule(100, fired.append, 1)
+        sim.schedule(101, fired.append, 2)
+        sim.run(until=100)
+        assert fired == [1]
+        assert sim.now == 100
+
+    def test_until_advances_clock_when_idle(self, sim):
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_max_events(self, sim):
+        for i in range(10):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.run() == 7
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_peek_time_skips_cancelled(self, sim):
+        first = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 20
+
+    def test_pending_counts_live_events(self, sim):
+        events = [sim.schedule(i + 1, lambda: None) for i in range(4)]
+        events[0].cancel()
+        assert sim.pending() == 3
+
+
+class TestRngStreams:
+    def test_streams_are_independent(self):
+        sim = Simulator(seed=7)
+        a1 = [sim.rng("a").random() for _ in range(5)]
+        sim2 = Simulator(seed=7)
+        _ = [sim2.rng("b").random() for _ in range(100)]  # consume another stream
+        a2 = [sim2.rng("a").random() for _ in range(5)]
+        assert a1 == a2
+
+    def test_same_name_same_stream(self, sim):
+        assert sim.rng("x") is sim.rng("x")
+
+    def test_different_seeds_differ(self):
+        x = Simulator(seed=1).rng("s").random()
+        y = Simulator(seed=2).rng("s").random()
+        assert x != y
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+def test_events_always_fire_in_nondecreasing_time(delays):
+    sim = Simulator(seed=0)
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

@@ -1,0 +1,115 @@
+"""Tests for link-failure handling (§3.1: exclude failed links symmetrically)."""
+
+import pytest
+
+from repro.core import ExpressPassFlow, ExpressPassParams
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, SEC, US
+from repro.topology import fat_tree
+
+PARAMS = ExpressPassParams(rtt_hint_ps=60 * US)
+
+
+def _make_probe_flow(topo, src, dst):
+    flow = ExpressPassFlow(src, dst, None, params=PARAMS)
+    flow.stop()
+    return flow
+
+
+def _trace_switch_path(topo, flow):
+    """Trace the switch path of one probe packet for an existing flow (the
+    flow's 4-tuple pins the ECMP choice, so repeated traces are comparable)."""
+    sim = topo.net.sim
+    pkt = Packet(PacketKind.DATA, flow.src.id, flow.dst.id, flow=flow,
+                 payload_bytes=100, seq=0)
+    pkt.hops = []
+    flow.src.send(pkt)
+    sim.run()
+    return pkt.hops[:-1]
+
+
+class TestFailover:
+    def test_reroutes_around_failed_core_link(self):
+        sim = Simulator(seed=2)
+        ft = fat_tree(sim, k=4)
+        probe = _make_probe_flow(ft, ft.hosts[0], ft.hosts[-1])
+        before = _trace_switch_path(ft, probe)
+        # Fail the agg->core link the path uses (hops: tor, agg, core, ...).
+        agg = ft.net.nodes[before[1]]
+        core = ft.net.nodes[before[2]]
+        ft.net.fail_link(agg, core)
+        after = _trace_switch_path(ft, probe)
+        assert after != before
+        assert (agg.id, core.id) not in zip(after, after[1:])
+        assert after  # still connected
+
+    def test_unidirectional_failure_excludes_both_directions(self):
+        sim = Simulator(seed=2)
+        ft = fat_tree(sim, k=4)
+        probe = _make_probe_flow(ft, ft.hosts[0], ft.hosts[-1])
+        before = _trace_switch_path(ft, probe)
+        agg = ft.net.nodes[before[1]]
+        core = ft.net.nodes[before[2]]
+        ft.net.fail_link(agg, core, direction="a->b")  # only one direction!
+        # Forward path avoids the half-dead link entirely (§3.1).
+        after = _trace_switch_path(ft, probe)
+        assert (agg.id, core.id) not in zip(after, after[1:])
+
+    def test_flow_completes_across_mid_run_failure(self):
+        sim = Simulator(seed=2)
+        ft = fat_tree(sim, k=4)
+        src, dst = ft.hosts[0], ft.hosts[-1]
+        flow = ExpressPassFlow(src, dst, 5_000_000, params=PARAMS)
+        path = None
+
+        def fail():
+            hops = _path_of(ft, flow)
+            agg = ft.net.nodes[hops[1]]
+            core = ft.net.nodes[hops[2]]
+            ft.net.fail_link(agg, core)
+
+        def _path_of(topo, f):
+            from repro.transport.ideal import compute_path_ports
+            return [p.peer.id for p in compute_path_ports(f)][:-1]
+
+        sim.schedule(2 * MS, fail)
+        sim.run(until=2 * SEC)
+        assert flow.completed
+        assert flow.bytes_delivered == 5_000_000
+
+    def test_restore_link_reinstates_paths(self):
+        sim = Simulator(seed=2)
+        ft = fat_tree(sim, k=4)
+        probe = _make_probe_flow(ft, ft.hosts[0], ft.hosts[-1])
+        before = _trace_switch_path(ft, probe)
+        agg = ft.net.nodes[before[1]]
+        core = ft.net.nodes[before[2]]
+        ft.net.fail_link(agg, core)
+        ft.net.restore_link(agg, core)
+        after = _trace_switch_path(ft, probe)
+        assert after == before
+
+    def test_down_port_drops_and_notifies(self):
+        sim = Simulator(seed=2)
+        ft = fat_tree(sim, k=4)
+        src, dst = ft.hosts[0], ft.hosts[1]
+        flow = ExpressPassFlow(src, dst, None, params=PARAMS)
+        flow.stop()
+        src.nic.up = False
+        pkt = Packet(PacketKind.DATA, src.id, dst.id, flow=flow,
+                     payload_bytes=100, seq=0)
+        assert not src.send(pkt)
+        assert flow.data_drops == 1
+
+    def test_bad_direction_rejected(self):
+        sim = Simulator(seed=2)
+        ft = fat_tree(sim, k=4)
+        with pytest.raises(ValueError):
+            ft.net.fail_link(ft.tors[0], ft.aggs[0], direction="sideways")
+
+    def test_unlinked_nodes_rejected(self):
+        sim = Simulator(seed=2)
+        ft = fat_tree(sim, k=4)
+        with pytest.raises(ValueError):
+            ft.net.fail_link(ft.hosts[0], ft.hosts[1])

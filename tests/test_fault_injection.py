@@ -1,0 +1,121 @@
+"""Fault-injection tests: transports must survive silent packet loss."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import ExpressPassFlow, ExpressPassParams
+from repro.net.fault import LossInjector
+from repro.net.packet import PacketKind
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, SEC, US
+from repro.transport.dctcp import DctcpFlow
+from repro.transport.rcp import RcpFlow, install_rcp
+
+from tests.conftest import small_dumbbell
+
+PARAMS = ExpressPassParams(rtt_hint_ps=40 * US)
+
+
+class TestInjectorMechanics:
+    def test_every_nth_is_deterministic(self, sim):
+        topo = small_dumbbell(sim)
+        injector = LossInjector(topo.bottleneck_fwd, every_nth=3)
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0], 100_000,
+                               params=PARAMS)
+        sim.run(until=SEC)
+        assert injector.dropped == injector.seen // 3
+        assert flow.completed  # resync recovered every loss
+
+    def test_match_restricts_scope(self, sim):
+        topo = small_dumbbell(sim)
+        injector = LossInjector(
+            topo.bottleneck_fwd, every_nth=1,
+            match=lambda p: p.kind == PacketKind.CREDIT_STOP)
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0], 30_000,
+                               params=PARAMS)
+        sim.run(until=200 * MS)
+        flow.stop()
+        # Only CREDIT_STOPs were eaten; the transfer itself completed.
+        assert flow.completed
+        assert injector.dropped >= 1
+        assert injector.seen == injector.dropped
+
+    def test_detach_restores_port(self, sim):
+        topo = small_dumbbell(sim)
+        injector = LossInjector(topo.bottleneck_fwd, every_nth=1)
+        injector.detach()
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0], 50_000,
+                               params=PARAMS)
+        sim.run(until=SEC)
+        assert flow.completed
+        assert injector.dropped == 0
+
+    def test_double_attach_rejected(self, sim):
+        topo = small_dumbbell(sim)
+        LossInjector(topo.bottleneck_fwd, probability=0.1)
+        with pytest.raises(RuntimeError):
+            LossInjector(topo.bottleneck_fwd, probability=0.1)
+
+    def test_validation(self, sim):
+        topo = small_dumbbell(sim)
+        with pytest.raises(ValueError):
+            LossInjector(topo.bottleneck_fwd, probability=1.5)
+        with pytest.raises(ValueError):
+            LossInjector(topo.bottleneck_fwd, every_nth=0)
+
+
+class TestTransportsSurviveLoss:
+    def test_expresspass_survives_credit_loss(self, sim):
+        # Eat 10% of credits on the reverse path: the feedback loop treats
+        # it as congestion; transfers still complete exactly.
+        topo = small_dumbbell(sim)
+        LossInjector(topo.bottleneck_rev, probability=0.1,
+                     match=lambda p: p.is_credit)
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0], 500_000,
+                               params=PARAMS)
+        sim.run(until=SEC)
+        assert flow.completed
+        assert flow.bytes_delivered == 500_000
+
+    def test_expresspass_survives_data_loss(self, sim):
+        topo = small_dumbbell(sim)
+        LossInjector(topo.bottleneck_fwd, probability=0.05,
+                     match=lambda p: p.kind == PacketKind.DATA)
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0], 500_000,
+                               params=PARAMS)
+        sim.run(until=2 * SEC)
+        assert flow.completed
+        assert flow.retransmissions > 0
+
+    def test_dctcp_survives_ack_loss(self, sim):
+        topo = small_dumbbell(sim)
+        LossInjector(topo.bottleneck_rev, probability=0.2,
+                     match=lambda p: p.kind == PacketKind.ACK)
+        flow = DctcpFlow(topo.senders[0], topo.receivers[0], 300_000)
+        sim.run(until=2 * SEC)
+        assert flow.completed
+
+    def test_rcp_survives_mixed_loss(self, sim):
+        topo = small_dumbbell(sim)
+        install_rcp(sim, topo.net.ports, 30 * US)
+        LossInjector(topo.bottleneck_fwd, probability=0.05)
+        flow = RcpFlow(topo.senders[0], topo.receivers[0], 300_000)
+        sim.run(until=2 * SEC)
+        assert flow.completed
+
+
+@settings(deadline=None, max_examples=8,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(p_loss=st.floats(min_value=0.0, max_value=0.25),
+       seed=st.integers(0, 1000))
+def test_expresspass_exactly_once_delivery_under_random_loss(p_loss, seed):
+    """Property: whatever the (bounded) loss rate, a sized ExpressPass flow
+    delivers every byte exactly once."""
+    sim = Simulator(seed=seed)
+    topo = small_dumbbell(sim)
+    LossInjector(topo.bottleneck_fwd, probability=p_loss)
+    flow = ExpressPassFlow(topo.senders[0], topo.receivers[0], 120_000,
+                           params=PARAMS)
+    sim.run(until=3 * SEC)
+    assert flow.completed
+    assert flow.bytes_delivered == 120_000

@@ -1,0 +1,194 @@
+"""Tests for Algorithm 1 (CreditFeedbackControl) and its §4 properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CreditFeedbackControl, ExpressPassParams
+
+
+def make(alpha=0.5, w_init=0.5, w_min=0.01, target_loss=0.1, naive=False,
+         max_rate=1000.0):
+    params = ExpressPassParams(initial_rate_fraction=alpha, w_init=w_init,
+                               w_min=w_min, target_loss=target_loss, naive=naive)
+    return CreditFeedbackControl(params, max_rate)
+
+
+class TestAlgorithmSteps:
+    def test_initial_rate(self):
+        fb = make(alpha=0.25)
+        assert fb.cur_rate == 250.0
+
+    def test_naive_pins_max_rate(self):
+        fb = make(naive=True)
+        assert fb.cur_rate == 1000.0
+        fb.update(0.9)
+        assert fb.cur_rate == 1000.0
+
+    def test_increase_moves_toward_ceiling(self):
+        fb = make(alpha=0.1, w_init=0.5)
+        fb.update(0.0)
+        # (1-w)*100 + w*1100 = 600
+        assert fb.cur_rate == pytest.approx(600.0)
+
+    def test_decrease_matches_survived_rate(self):
+        fb = make(alpha=1.0)
+        fb.cur_rate = 1000.0
+        fb.update(0.5)
+        assert fb.cur_rate == pytest.approx(1000 * 0.5 * 1.1)
+
+    def test_w_halves_on_decrease(self):
+        fb = make(w_init=0.4)
+        fb.update(0.9)
+        assert fb.w == 0.2
+
+    def test_w_floors_at_w_min(self):
+        fb = make(w_init=0.02, w_min=0.01)
+        fb.update(0.9)
+        fb.update(0.9)
+        fb.update(0.9)
+        assert fb.w == 0.01
+
+    def test_w_grows_only_after_consecutive_increases(self):
+        fb = make(w_init=0.1)
+        fb.update(0.0)  # first increase: w unchanged
+        assert fb.w == pytest.approx(0.1)
+        fb.update(0.0)  # second: w -> (0.1+0.5)/2
+        assert fb.w == pytest.approx(0.3)
+
+    def test_decrease_resets_increase_streak(self):
+        fb = make(w_init=0.1)
+        fb.update(0.0)
+        fb.update(0.9)  # w -> 0.05
+        fb.update(0.0)  # first increase after decrease: w unchanged
+        assert fb.w == pytest.approx(0.05)
+
+    def test_loss_at_target_counts_as_increase(self):
+        fb = make()
+        before = fb.cur_rate
+        fb.update(0.1)  # == target_loss
+        assert fb.cur_rate > before
+        assert fb.increases == 1
+
+    def test_rate_capped_at_ceiling(self):
+        fb = make(alpha=1.0, w_init=0.5)
+        for _ in range(20):
+            fb.update(0.0)
+        assert fb.cur_rate <= fb.ceiling + 1e-9
+
+    def test_rate_floored_above_zero(self):
+        fb = make()
+        for _ in range(50):
+            fb.update(1.0)
+        assert fb.cur_rate > 0
+
+    def test_invalid_loss_rejected(self):
+        fb = make()
+        with pytest.raises(ValueError):
+            fb.update(-0.1)
+        with pytest.raises(ValueError):
+            fb.update(1.1)
+
+    def test_invalid_max_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CreditFeedbackControl(ExpressPassParams(), 0)
+
+
+class TestParamsValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            ExpressPassParams(initial_rate_fraction=0)
+        with pytest.raises(ValueError):
+            ExpressPassParams(initial_rate_fraction=1.5)
+
+    def test_w_ordering(self):
+        with pytest.raises(ValueError):
+            ExpressPassParams(w_min=0.3, w_init=0.2)
+
+    def test_target_loss_bounds(self):
+        with pytest.raises(ValueError):
+            ExpressPassParams(target_loss=1.0)
+
+    def test_with_alpha_helper(self):
+        p = ExpressPassParams().with_alpha(1 / 16)
+        assert p.initial_rate_fraction == 1 / 16
+        assert p.w_init == 0.5
+        q = ExpressPassParams().with_alpha(1 / 16, 1 / 16)
+        assert q.w_init == 1 / 16
+
+
+def synchronized_model(n, params, periods, initial=None, capacity=1.0):
+    """The §4 discrete model: shared exact loss each period."""
+    fbs = [CreditFeedbackControl(params, 1.0) for _ in range(n)]
+    if initial:
+        for fb, r in zip(fbs, initial):
+            fb.cur_rate = r
+    for _ in range(periods):
+        agg = sum(fb.cur_rate for fb in fbs)
+        loss = max(0.0, 1 - capacity / agg) if agg else 0.0
+        for fb in fbs:
+            fb.update(loss)
+    return [fb.cur_rate for fb in fbs]
+
+
+class TestConvergence:
+    """§4: rates converge to C/N regardless of initial conditions."""
+
+    @pytest.mark.parametrize("n", [2, 4, 16])
+    def test_converges_to_fair_share(self, n):
+        params = ExpressPassParams()
+        rates = synchronized_model(
+            n, params, periods=400,
+            initial=[(i + 1) * 0.9 / n for i in range(n)],
+        )
+        fair = 1.0 / n
+        # Terminal rates sit within the paper's oscillation band:
+        # between C/N and C/N * (1+target_loss) * (1+(N-1)*w_min)  (Eq. 5/6).
+        upper = fair * 1.3 * (1 + (n - 1) * params.w_min)
+        for rate in rates:
+            assert fair * 0.75 <= rate <= upper
+
+    def test_oscillation_bounded_by_d_star(self):
+        n = 8
+        params = ExpressPassParams()
+        fbs = [CreditFeedbackControl(params, 1.0) for _ in range(n)]
+        for fb, r in zip(fbs, [(i + 1) / n for i in range(n)]):
+            fb.cur_rate = r
+        history = []
+        for _ in range(300):
+            agg = sum(fb.cur_rate for fb in fbs)
+            loss = max(0.0, 1 - 1.0 / agg)
+            for fb in fbs:
+                fb.update(loss)
+            history.append([fb.cur_rate for fb in fbs])
+        d_star = params.w_min * (1 + params.target_loss) * (1 - 1 / n)
+        last_deltas = [
+            abs(a - b)
+            for prev, cur in zip(history[-20:], history[-19:])
+            for a, b in zip(prev, cur)
+        ]
+        assert max(last_deltas) <= d_star * 1.5
+
+    def test_w_converges_to_w_min(self):
+        params = ExpressPassParams()
+        fbs = [CreditFeedbackControl(params, 1.0) for _ in range(4)]
+        for _ in range(300):
+            agg = sum(fb.cur_rate for fb in fbs)
+            loss = max(0.0, 1 - 1.0 / agg)
+            for fb in fbs:
+                fb.update(loss)
+        assert all(fb.w == params.w_min for fb in fbs)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    losses=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1,
+                    max_size=100),
+    alpha=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_rate_always_within_bounds(losses, alpha):
+    """Invariant: cur_rate stays in (0, ceiling] for any loss sequence."""
+    fb = make(alpha=alpha)
+    for loss in losses:
+        rate = fb.update(loss)
+        assert 0 < rate <= fb.ceiling + 1e-9
+        assert fb.params.w_min <= fb.w <= fb.params.w_max

@@ -1,0 +1,56 @@
+"""Tests for hosts and the host delay model."""
+
+import pytest
+
+from repro.net.host import Host, HostDelayModel
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+
+
+class TestHostDelayModel:
+    def test_constant_model(self):
+        model = HostDelayModel.constant(5 * US)
+        assert model.sample() == 5 * US
+        assert model.spread_ps == 5 * US
+
+    def test_default_matches_paper_median(self):
+        sim = Simulator(seed=11)
+        model = HostDelayModel()
+        model.bind(sim.rng("host-delay"))
+        samples = sorted(model.sample() for _ in range(20_000))
+        median = samples[len(samples) // 2]
+        assert 0.30 * US < median < 0.46 * US
+
+    def test_tail_clipped_at_max(self):
+        sim = Simulator(seed=11)
+        model = HostDelayModel()
+        model.bind(sim.rng("host-delay"))
+        assert max(model.sample() for _ in range(50_000)) <= model.max_delay_ps
+
+    def test_without_rng_returns_median(self):
+        model = HostDelayModel()
+        assert model.sample() == model.median_ps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostDelayModel(median_ps=0)
+        with pytest.raises(ValueError):
+            HostDelayModel(median_ps=100, p9999_ps=100)
+
+
+class TestHost:
+    def test_nic_requires_single_port(self):
+        sim = Simulator(seed=0)
+        host = Host(sim, 0)
+        with pytest.raises(RuntimeError):
+            _ = host.nic
+
+    def test_misrouted_packet_raises(self):
+        from repro.net.packet import data_packet
+        from repro.topology import single_switch
+
+        sim = Simulator(seed=0)
+        topo = single_switch(sim, 2)
+        pkt = data_packet(topo.hosts[0].id, 999, None, 10, seq=0)
+        with pytest.raises(RuntimeError):
+            topo.hosts[1].receive(pkt, None)

@@ -1,0 +1,56 @@
+"""Integration tests with the stochastic host delay model enabled.
+
+The paper's queue bound (Table 1) is driven by ∆d_host; these tests check
+that turning the SoftNIC-like jitter on keeps zero loss while visibly
+widening the data-queue envelope.
+"""
+
+import pytest
+
+from repro.core import ExpressPassFlow, ExpressPassParams
+from repro.net.host import HostDelayModel
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, US
+from repro.topology import LinkSpec, dumbbell
+
+PARAMS = ExpressPassParams(rtt_hint_ps=40 * US)
+
+
+def run_with_delay(model, seed=1, n=8, ms=20):
+    sim = Simulator(seed=seed)
+    topo = dumbbell(sim, n_pairs=n,
+                    bottleneck=LinkSpec(rate_bps=10 * GBPS, prop_delay_ps=4 * US),
+                    host_delay=model)
+    flows = [ExpressPassFlow(s, r, None, params=PARAMS)
+             for s, r in zip(topo.senders, topo.receivers)]
+    sim.run(until=ms * MS)
+    delivered = sum(f.bytes_delivered for f in flows)
+    for f in flows:
+        f.stop()
+    return topo, delivered
+
+
+class TestHostDelayIntegration:
+    def test_zero_loss_with_softnic_jitter(self):
+        topo, delivered = run_with_delay(HostDelayModel())
+        assert topo.net.total_data_drops() == 0
+        assert delivered > 0
+
+    def test_jitter_widens_queue_envelope(self):
+        quiet, _ = run_with_delay(HostDelayModel.constant(0))
+        noisy, _ = run_with_delay(HostDelayModel())
+        assert (noisy.net.max_data_queue_bytes()
+                >= quiet.net.max_data_queue_bytes())
+
+    def test_queue_stays_within_calculus_style_bound(self):
+        # Dumbbell analog of the Table-1 reasoning: the data queue should
+        # stay within a few ∆d_host's worth of line-rate arrival.
+        model = HostDelayModel()
+        topo, _ = run_with_delay(model)
+        bound = model.spread_ps * 10e9 / (8 * 1e12) * 4  # 4x spread, bytes
+        assert topo.net.max_data_queue_bytes() < max(bound, 20 * 1538)
+
+    def test_throughput_unaffected_by_jitter(self):
+        _, quiet = run_with_delay(HostDelayModel.constant(0))
+        _, noisy = run_with_delay(HostDelayModel())
+        assert noisy > 0.9 * quiet

@@ -1,0 +1,123 @@
+"""Tests for the oracle rate controller (max-min water-filling)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, SEC, US
+from repro.topology import LinkSpec, dumbbell, parking_lot
+from repro.transport.ideal import (
+    IdealFlow,
+    OracleRateController,
+    compute_path_ports,
+    max_min_rates,
+)
+
+from tests.conftest import small_dumbbell
+
+
+class TestWaterFilling:
+    def _flows_on_shared_port(self, sim, n):
+        topo = small_dumbbell(sim, n_pairs=n)
+        oracle = OracleRateController(capacity_fraction=1.0)
+        flows = [IdealFlow(s, r, None, oracle=oracle)
+                 for s, r in zip(topo.senders, topo.receivers)]
+        for f in flows:
+            f.stop()
+        return topo, flows
+
+    def test_equal_split_on_single_bottleneck(self, sim):
+        topo, flows = self._flows_on_shared_port(sim, 4)
+        paths = {f: compute_path_ports(f) for f in flows}
+        rates = max_min_rates(paths, capacity_fraction=1.0)
+        for rate in rates.values():
+            assert rate == pytest.approx(2.5 * GBPS)
+
+    def test_parking_lot_max_min(self, sim):
+        topo = parking_lot(sim, 2, link=LinkSpec())
+        oracle = OracleRateController()
+        long = IdealFlow(topo.long_src, topo.long_dst, None, oracle=oracle)
+        crosses = [IdealFlow(s, d, None, oracle=oracle)
+                   for s, d in zip(topo.cross_srcs, topo.cross_dsts)]
+        for f in [long] + crosses:
+            f.stop()
+        paths = {f: compute_path_ports(f) for f in [long] + crosses}
+        rates = max_min_rates(paths, capacity_fraction=1.0)
+        # Long flow and each cross flow split each bottleneck in half.
+        assert rates[long] == pytest.approx(5 * GBPS)
+        for c in crosses:
+            assert rates[c] == pytest.approx(5 * GBPS)
+
+    def test_unconstrained_flow_gets_infinity(self, sim):
+        # A flow whose ports carry no other flow is bounded only by its path.
+        topo = small_dumbbell(sim, 1)
+        oracle = OracleRateController(capacity_fraction=1.0)
+        flow = IdealFlow(topo.senders[0], topo.receivers[0], None, oracle=oracle)
+        flow.stop()
+        rates = max_min_rates({flow: compute_path_ports(flow)}, 1.0)
+        assert rates[flow] == pytest.approx(10 * GBPS)
+
+    def test_empty_input(self):
+        assert max_min_rates({}) == {}
+
+
+class TestOracleEndToEnd:
+    def test_rates_rebalance_on_churn(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=2)
+        oracle = OracleRateController()
+        f0 = IdealFlow(topo.senders[0], topo.receivers[0], None, oracle=oracle)
+        sim.run(until=2 * MS)
+        solo_rate = f0.rate_bps
+        f1 = IdealFlow(topo.senders[1], topo.receivers[1], None, oracle=oracle)
+        sim.run(until=4 * MS)
+        assert f0.rate_bps == pytest.approx(solo_rate / 2, rel=0.01)
+        f0.stop()
+        f1.stop()
+
+    def test_completion_releases_bandwidth(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=2)
+        oracle = OracleRateController()
+        short = IdealFlow(topo.senders[0], topo.receivers[0], 100_000, oracle=oracle)
+        long = IdealFlow(topo.senders[1], topo.receivers[1], None, oracle=oracle)
+        sim.run(until=20 * MS)
+        assert short.completed
+        assert long.rate_bps == pytest.approx(10 * GBPS * oracle.capacity_fraction,
+                                              rel=0.01)
+        long.stop()
+
+    def test_near_zero_queue_with_one_flow(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=1)
+        oracle = OracleRateController()
+        flow = IdealFlow(topo.senders[0], topo.receivers[0], None, oracle=oracle)
+        sim.run(until=10 * MS)
+        flow.stop()
+        # One perfectly paced flow leaves at most a couple of packets queued.
+        assert topo.net.max_data_queue_bytes() <= 3 * 1538
+
+
+@settings(deadline=None, max_examples=20)
+@given(n=st.integers(min_value=1, max_value=8))
+def test_water_filling_is_feasible_and_efficient(n):
+    """Property: allocations never exceed any port capacity, and every flow
+    is bottlenecked somewhere (max-min efficiency)."""
+    sim = Simulator(seed=0)
+    topo = small_dumbbell(sim, n_pairs=n)
+    oracle = OracleRateController(capacity_fraction=1.0)
+    flows = [IdealFlow(s, r, None, oracle=oracle)
+             for s, r in zip(topo.senders, topo.receivers)]
+    for f in flows:
+        f.stop()
+    paths = {f: compute_path_ports(f) for f in flows}
+    rates = max_min_rates(paths, capacity_fraction=1.0)
+    loads = {}
+    for f, path in paths.items():
+        for port in path:
+            loads[port] = loads.get(port, 0.0) + rates[f]
+    for port, load in loads.items():
+        assert load <= port.rate_bps * 1.0001
+    # The shared bottleneck is saturated.
+    bottleneck_load = max(loads.values())
+    assert bottleneck_load == pytest.approx(10 * GBPS, rel=0.001)

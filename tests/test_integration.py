@@ -1,0 +1,88 @@
+"""Cross-module integration tests: fabrics, mixed protocols, determinism."""
+
+import pytest
+
+from repro.core import ExpressPassFlow, ExpressPassParams
+from repro.experiments.runner import PROTOCOLS, get_harness
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, SEC, US
+from repro.topology import LinkSpec, fat_tree, oversubscribed_clos
+
+EP = ExpressPassParams(rtt_hint_ps=60 * US)
+
+
+class TestFatTreeTransfers:
+    def test_interpod_expresspass_transfer(self):
+        sim = Simulator(seed=1)
+        ft = fat_tree(sim, k=4)
+        flow = ExpressPassFlow(ft.hosts[0], ft.hosts[-1], 2_000_000, params=EP)
+        sim.run(until=SEC)
+        assert flow.completed
+        assert ft.net.total_data_drops() == 0
+
+    def test_permutation_traffic_all_complete(self):
+        sim = Simulator(seed=1)
+        ft = fat_tree(sim, k=4)
+        n = len(ft.hosts)
+        flows = [ExpressPassFlow(ft.hosts[i], ft.hosts[(i + 1) % n],
+                                 500_000, params=EP) for i in range(n)]
+        sim.run(until=SEC)
+        assert all(f.completed for f in flows)
+        assert ft.net.total_data_drops() == 0
+
+    def test_mixed_speed_fat_tree(self):
+        sim = Simulator(seed=1)
+        ft = fat_tree(sim, k=4,
+                      edge=LinkSpec(rate_bps=10 * GBPS, prop_delay_ps=1 * US),
+                      core=LinkSpec(rate_bps=40 * GBPS, prop_delay_ps=5 * US))
+        flow = ExpressPassFlow(ft.hosts[0], ft.hosts[-1], 1_000_000, params=EP)
+        sim.run(until=SEC)
+        assert flow.completed
+
+
+@pytest.mark.parametrize("protocol", [p for p in PROTOCOLS
+                                      if p != "expresspass-naive"])
+def test_every_protocol_completes_on_clos(protocol):
+    """One mid-size transfer per protocol across the oversubscribed Clos."""
+    sim = Simulator(seed=1)
+    harness = get_harness(protocol, 10 * GBPS, 60 * US, EP)
+    spec = harness.adapt_link(LinkSpec(rate_bps=10 * GBPS, prop_delay_ps=2 * US))
+    clos = oversubscribed_clos(sim, edge=spec, core=spec)
+    harness.install(sim, clos.net)
+    flow = harness.flow(clos.hosts[0], clos.hosts[-1], 1_000_000)
+    sim.run(until=SEC)
+    assert flow.completed, protocol
+    assert flow.bytes_delivered == 1_000_000
+
+
+class TestDeterminism:
+    def _run_once(self, seed):
+        sim = Simulator(seed=seed)
+        ft = fat_tree(sim, k=4)
+        flows = [ExpressPassFlow(ft.hosts[i], ft.hosts[-1 - i], 300_000,
+                                 params=EP) for i in range(4)]
+        sim.run(until=SEC)
+        return [f.fct_ps for f in flows], sim.events_processed
+
+    def test_same_seed_same_results(self):
+        assert self._run_once(5) == self._run_once(5)
+
+    def test_different_seed_differs(self):
+        fcts_a, _ = self._run_once(5)
+        fcts_b, _ = self._run_once(6)
+        assert fcts_a != fcts_b
+
+
+class TestProtocolCoexistence:
+    def test_expresspass_with_uncredited_background_traffic(self):
+        """§7 'presence of other traffic': reactive flows share the fabric."""
+        from repro.transport.tcp import RenoFlow
+
+        sim = Simulator(seed=2)
+        from tests.conftest import small_dumbbell
+        topo = small_dumbbell(sim, n_pairs=2)
+        ep = ExpressPassFlow(topo.senders[0], topo.receivers[0], 2_000_000,
+                             params=EP)
+        bg = RenoFlow(topo.senders[1], topo.receivers[1], 2_000_000)
+        sim.run(until=SEC)
+        assert ep.completed and bg.completed

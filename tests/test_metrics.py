@@ -1,0 +1,189 @@
+"""Tests for fairness, FCT statistics, and time-series utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    FctStats,
+    SIZE_BUCKETS,
+    bucket_of,
+    fct_stats_by_bucket,
+    jain_index,
+    percentile,
+)
+from repro.metrics.timeseries import (
+    FlowThroughputSampler,
+    QueueSampler,
+    convergence_time_ps,
+)
+from repro.sim.engine import Simulator
+from repro.sim.units import KB, MB, MS, SEC, US
+
+
+class TestJainIndex:
+    def test_perfect_fairness(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_total_skew(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # J([1,2,3]) = 36 / (3*14)
+        assert jain_index([1, 2, 3]) == pytest.approx(36 / 42)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0, 0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([1, -1])
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e9), min_size=1,
+                    max_size=50))
+    def test_bounds(self, xs):
+        j = jain_index(xs)
+        assert 1 / len(xs) - 1e-9 <= j <= 1 + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1,
+                    max_size=20),
+           st.floats(min_value=0.01, max_value=100))
+    def test_scale_invariant(self, xs, k):
+        assert jain_index(xs) == pytest.approx(jain_index([x * k for x in xs]))
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        assert percentile([5, 1, 9], 0) == 1
+        assert percentile([5, 1, 9], 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestBuckets:
+    def test_bucket_edges(self):
+        assert bucket_of(0) == "S"
+        assert bucket_of(10 * KB - 1) == "S"
+        assert bucket_of(10 * KB) == "M"
+        assert bucket_of(100 * KB) == "L"
+        assert bucket_of(1 * MB) == "XL"
+        assert bucket_of(10**12) == "XL"
+
+    def test_bucket_labels(self):
+        assert [b[0] for b in SIZE_BUCKETS] == ["S", "M", "L", "XL"]
+
+    def test_fct_stats_by_bucket(self):
+        class F:
+            def __init__(self, size, fct):
+                self.size_bytes = size
+                self.fct_ps = fct
+
+        flows = [F(1000, 10 * US), F(2000, 20 * US), F(5 * MB, 1 * MS),
+                 F(3000, None)]
+        stats = fct_stats_by_bucket(flows)
+        assert stats["S"].count == 2
+        assert stats["XL"].count == 1
+        assert "M" not in stats
+
+    def test_fct_stats_values(self):
+        stats = FctStats.from_fcts_ps([1 * MS, 2 * MS, 3 * MS])
+        assert stats.mean_s == pytest.approx(0.002)
+        assert stats.median_s == pytest.approx(0.002)
+        assert stats.max_s == pytest.approx(0.003)
+
+    def test_empty_fcts_rejected(self):
+        with pytest.raises(ValueError):
+            FctStats.from_fcts_ps([])
+
+
+class TestConvergenceDetector:
+    def test_detects_when_all_within_band(self):
+        times = [0, 10, 20, 30, 40]
+        a = [0, 50, 100, 100, 100]
+        b = [200, 150, 100, 100, 100]
+        t = convergence_time_ps(times, [a, b], 100, tolerance=0.1,
+                                sustain_intervals=2)
+        assert t == 20
+
+    def test_requires_sustain(self):
+        times = [0, 10, 20, 30]
+        a = [100, 0, 100, 100]
+        t = convergence_time_ps(times, [a], 100, tolerance=0.1,
+                                sustain_intervals=3)
+        assert t is None
+
+    def test_respects_start(self):
+        times = [0, 10, 20, 30, 40]
+        a = [100] * 5
+        t = convergence_time_ps(times, [a], 100, sustain_intervals=2,
+                                start_ps=25)
+        assert t == 30
+
+    def test_none_when_never(self):
+        t = convergence_time_ps([0, 10], [[0, 0]], 100)
+        assert t is None
+
+
+class TestSamplers:
+    def test_queue_sampler_records(self):
+        from tests.conftest import small_dumbbell
+        from repro.core import ExpressPassFlow, ExpressPassParams
+
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim)
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0], None,
+                               params=ExpressPassParams(rtt_hint_ps=40 * US))
+        sampler = QueueSampler(sim, topo.bottleneck_fwd, interval_ps=100 * US)
+        sim.run(until=5 * MS)
+        flow.stop()
+        sampler.stop()
+        assert len(sampler.samples) == pytest.approx(50, abs=2)
+        assert sampler.max_bytes() >= 0
+
+    def test_throughput_sampler_tracks_goodput(self):
+        from tests.conftest import small_dumbbell
+        from repro.core import ExpressPassFlow, ExpressPassParams
+
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim)
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0], None,
+                               params=ExpressPassParams(rtt_hint_ps=40 * US))
+        sampler = FlowThroughputSampler(sim, [flow], interval_ps=1 * MS)
+        sim.run(until=10 * MS)
+        flow.stop()
+        sampler.stop()
+        series = sampler.series[flow]
+        assert len(series) >= 9
+        # Steady-state goodput near the credit-limited ceiling.
+        assert max(series) > 8e9
+
+    def test_sampler_track_late_flow(self):
+        from tests.conftest import small_dumbbell
+        from repro.core import ExpressPassFlow, ExpressPassParams
+
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=2)
+        f0 = ExpressPassFlow(topo.senders[0], topo.receivers[0], None,
+                             params=ExpressPassParams(rtt_hint_ps=40 * US))
+        sampler = FlowThroughputSampler(sim, [f0], interval_ps=1 * MS)
+        sim.run(until=2 * MS)
+        f1 = ExpressPassFlow(topo.senders[1], topo.receivers[1], None,
+                             params=ExpressPassParams(rtt_hint_ps=40 * US))
+        sampler.track(f1)
+        sim.run(until=6 * MS)
+        f0.stop()
+        f1.stop()
+        assert len(sampler.series[f1]) == len(sampler.series[f0])

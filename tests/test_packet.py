@@ -1,0 +1,102 @@
+"""Tests for packet construction and wire-size accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import (
+    CREDIT_RATE_FRACTION_DEN,
+    CREDIT_RATE_FRACTION_NUM,
+    CREDIT_WIRE_MAX,
+    CREDIT_WIRE_MIN,
+    DATA_WIRE_MAX,
+    ETHERNET_OVERHEAD,
+    MIN_WIRE,
+    MTU_PAYLOAD,
+    PacketKind,
+    credit_packet,
+    data_packet,
+)
+
+
+class TestWireConstants:
+    def test_mtu_payload(self):
+        assert MTU_PAYLOAD == 1500
+
+    def test_min_frame(self):
+        assert MIN_WIRE == 84
+
+    def test_credit_fraction_is_about_five_percent(self):
+        fraction = CREDIT_RATE_FRACTION_NUM / CREDIT_RATE_FRACTION_DEN
+        assert 0.05 < fraction < 0.056
+
+    def test_data_fills_the_rest(self):
+        data_share = DATA_WIRE_MAX / CREDIT_RATE_FRACTION_DEN
+        assert 0.94 < data_share < 0.95
+
+
+class TestDataPacket:
+    def test_full_mtu(self):
+        pkt = data_packet(1, 2, None, MTU_PAYLOAD, seq=0)
+        assert pkt.wire_bytes == DATA_WIRE_MAX
+        assert pkt.kind == PacketKind.DATA
+
+    def test_small_payload_floored_at_min_frame(self):
+        pkt = data_packet(1, 2, None, 1, seq=0)
+        assert pkt.wire_bytes == MIN_WIRE
+
+    def test_mid_payload_adds_overhead(self):
+        pkt = data_packet(1, 2, None, 500, seq=3)
+        assert pkt.wire_bytes == 500 + ETHERNET_OVERHEAD
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            data_packet(1, 2, None, MTU_PAYLOAD + 1, seq=0)
+
+    def test_header_fields(self):
+        pkt = data_packet(5, 9, None, 100, seq=7, credit_seq=42, ecn_capable=True)
+        assert (pkt.src, pkt.dst, pkt.seq, pkt.credit_seq) == (5, 9, 7, 42)
+        assert pkt.ecn_capable and not pkt.ecn_marked
+
+    def test_uids_unique(self):
+        a = data_packet(1, 2, None, 10, seq=0)
+        b = data_packet(1, 2, None, 10, seq=1)
+        assert a.uid != b.uid
+
+
+class TestCreditPacket:
+    def test_default_is_min_frame(self):
+        pkt = credit_packet(2, 1, None, credit_seq=0)
+        assert pkt.wire_bytes == CREDIT_WIRE_MIN
+        assert pkt.is_credit
+
+    def test_randomized_size_bounds_enforced(self):
+        credit_packet(2, 1, None, 0, wire_bytes=CREDIT_WIRE_MAX)
+        with pytest.raises(ValueError):
+            credit_packet(2, 1, None, 0, wire_bytes=CREDIT_WIRE_MAX + 1)
+        with pytest.raises(ValueError):
+            credit_packet(2, 1, None, 0, wire_bytes=CREDIT_WIRE_MIN - 1)
+
+    def test_only_credit_kind_is_credit(self):
+        data = data_packet(1, 2, None, 10, seq=0)
+        assert not data.is_credit
+
+
+class TestPathTracing:
+    def test_trace_disabled_by_default(self):
+        pkt = data_packet(1, 2, None, 10, seq=0)
+        pkt.trace_hop(7)
+        assert pkt.hops is None
+
+    def test_trace_records_when_enabled(self):
+        pkt = data_packet(1, 2, None, 10, seq=0)
+        pkt.hops = []
+        pkt.trace_hop(7)
+        pkt.trace_hop(9)
+        assert pkt.hops == [7, 9]
+
+
+@given(st.integers(min_value=1, max_value=MTU_PAYLOAD))
+def test_wire_size_always_within_ethernet_bounds(payload):
+    pkt = data_packet(1, 2, None, payload, seq=0)
+    assert MIN_WIRE <= pkt.wire_bytes <= DATA_WIRE_MAX
+    assert pkt.payload_bytes == payload

@@ -1,0 +1,126 @@
+"""Tests for the egress port: transmission, credit metering, scheduling."""
+
+import pytest
+
+from repro.net.node import Node
+from repro.net.packet import PacketKind, credit_packet, data_packet
+from repro.net.port import Port
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, US
+
+
+class SinkNode(Node):
+    """Records everything it receives, with timestamps."""
+
+    def __init__(self, sim, node_id):
+        super().__init__(sim, node_id, f"sink{node_id}")
+        self.received = []
+
+    def receive(self, pkt, from_port):
+        self.received.append((self.sim.now, pkt))
+
+
+@pytest.fixture
+def wire(sim):
+    a = SinkNode(sim, 0)
+    b = SinkNode(sim, 1)
+    port = Port(sim, a, b, rate_bps=10 * GBPS, prop_delay_ps=1 * US,
+                data_capacity_bytes=100_000, credit_capacity_pkts=8)
+    return sim, port, b
+
+
+def make_data(payload=1500, seq=0):
+    return data_packet(0, 1, None, payload, seq=seq)
+
+
+class TestTransmission:
+    def test_delivery_after_tx_plus_prop(self, wire):
+        sim, port, sink = wire
+        port.send(make_data())
+        sim.run()
+        t, pkt = sink.received[0]
+        assert t == 1_230_400 + 1 * US  # 1538B at 10G + 1us
+
+    def test_back_to_back_serialization(self, wire):
+        sim, port, sink = wire
+        port.send(make_data(seq=0))
+        port.send(make_data(seq=1))
+        sim.run()
+        t0, t1 = sink.received[0][0], sink.received[1][0]
+        assert t1 - t0 == 1_230_400  # one MTU serialization apart
+
+    def test_stats_count_data(self, wire):
+        sim, port, sink = wire
+        port.send(make_data())
+        sim.run()
+        assert port.stats.data_pkts_sent == 1
+        assert port.stats.data_bytes_sent == 1538
+        assert port.stats.credit_pkts_sent == 0
+
+
+class TestCreditMetering:
+    def test_credits_rate_limited_to_one_per_slot(self, wire):
+        sim, port, sink = wire
+        for i in range(20):
+            port.send(credit_packet(0, 1, None, i))
+        sim.run()
+        times = [t for t, p in sink.received if p.is_credit]
+        # One transmitted immediately + 8 queued; the rest were dropped.
+        assert len(times) == 9
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # After the 2-credit burst allowance, gaps ~ one 1626B slot at 10G.
+        slot = 1626 * 8 * 100  # ps at 10 Gbit/s
+        assert all(g >= 0.9 * slot for g in gaps[2:])
+
+    def test_credit_overflow_drops(self, wire):
+        sim, port, _ = wire
+        for i in range(20):
+            port.send(credit_packet(0, 1, None, i))
+        stats = port.credit_queue.stats
+        assert stats.dropped == 20 - stats.enqueued
+        assert stats.dropped > 0
+
+    def test_data_fills_gaps_between_credits(self, wire):
+        sim, port, sink = wire
+        for i in range(4):
+            port.send(credit_packet(0, 1, None, i))
+        for i in range(10):
+            port.send(make_data(seq=i))
+        sim.run()
+        kinds = [p.kind for _, p in sink.received]
+        assert PacketKind.DATA in kinds and PacketKind.CREDIT in kinds
+        # The line never idles while work exists: utilization ~ 100% of the
+        # busy period.
+        assert port.stats.busy_ps > 0
+
+    def test_long_run_credit_rate_near_five_percent(self, wire):
+        sim, port, sink = wire
+
+        def feed(i=0):
+            port.send(credit_packet(0, 1, None, i))
+            sim.schedule(100_000, feed, i + 1)  # 10 credits per slot offered
+
+        feed()
+        sim.run(until=10_000_000_000)  # 10 ms
+        credit_bytes = port.stats.credit_bytes_sent
+        fraction = credit_bytes * 8 / (10 * GBPS * 0.01)
+        assert 0.045 < fraction < 0.06
+
+
+class TestDropCallbacks:
+    def test_data_drop_notifies_flow(self, wire):
+        sim, port, _ = wire
+
+        class FakeFlow:
+            drops = 0
+
+            def on_data_dropped(self, pkt, port):
+                self.drops += 1
+
+        flow = FakeFlow()
+        big = data_packet(0, 1, flow, 1500, seq=0)
+        # Fill the queue beyond capacity.
+        for i in range(70):
+            port.send(data_packet(0, 1, None, 1500, seq=i))
+        port.send(big)
+        assert flow.drops == 1

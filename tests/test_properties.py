@@ -1,0 +1,98 @@
+"""Property-based stress tests of system-wide invariants.
+
+These sample random (small) scenarios and check the claims the paper makes
+unconditionally: credit-scheduled data never overflows sized buffers, every
+sized flow completes exactly, determinism per seed, and the credit meter is
+never exceeded on any link.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import ExpressPassFlow, ExpressPassParams
+from repro.net.packet import CREDIT_RATE_FRACTION_DEN, CREDIT_RATE_FRACTION_NUM
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, SEC, US
+from repro.topology import LinkSpec, single_switch
+
+PARAMS = ExpressPassParams(rtt_hint_ps=40 * US)
+
+scenario = st.fixed_dictionaries({
+    "seed": st.integers(min_value=0, max_value=10_000),
+    "n_hosts": st.integers(min_value=3, max_value=8),
+    "n_flows": st.integers(min_value=1, max_value=10),
+    "size_kb": st.integers(min_value=1, max_value=120),
+    "alpha_inv": st.sampled_from([1, 2, 16]),
+})
+
+
+def build(params_dict):
+    sim = Simulator(seed=params_dict["seed"])
+    topo = single_switch(sim, params_dict["n_hosts"],
+                         link=LinkSpec(rate_bps=10 * GBPS, prop_delay_ps=2 * US))
+    rng = sim.rng("scenario")
+    alpha = 1 / params_dict["alpha_inv"]
+    params = ExpressPassParams(rtt_hint_ps=40 * US).with_alpha(alpha)
+    flows = []
+    for _ in range(params_dict["n_flows"]):
+        src, dst = rng.sample(topo.hosts, 2)
+        start = rng.randint(0, 2 * MS)
+        flows.append(ExpressPassFlow(src, dst, params_dict["size_kb"] * 1000,
+                                     start_ps=start, params=params))
+    return sim, topo, flows
+
+
+@settings(deadline=None, max_examples=15,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario)
+def test_all_flows_complete_exactly_with_zero_loss(params_dict):
+    sim, topo, flows = build(params_dict)
+    sim.run(until=2 * SEC)
+    for flow in flows:
+        assert flow.completed, (params_dict, flow)
+        assert flow.bytes_delivered == params_dict["size_kb"] * 1000
+    assert topo.net.total_data_drops() == 0
+    assert sim.pending() == 0  # every timer cleaned up
+
+
+@settings(deadline=None, max_examples=8,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario)
+def test_same_scenario_is_bit_reproducible(params_dict):
+    def run():
+        sim, topo, flows = build(params_dict)
+        sim.run(until=2 * SEC)
+        return ([f.fct_ps for f in flows], sim.events_processed,
+                topo.net.max_data_queue_bytes())
+
+    assert run() == run()
+
+
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario)
+def test_credit_meter_never_exceeded_on_any_link(params_dict):
+    """Long-run credit bytes on any port stay within the metered fraction."""
+    sim, topo, flows = build(params_dict)
+    sim.run(until=2 * SEC)
+    for port in topo.net.ports:
+        if port.stats.credit_pkts_sent < 50:
+            continue  # too few credits for a rate statement
+        elapsed = sim.now
+        credit_rate = port.stats.credit_bytes_sent * 8 * 1e12 / elapsed
+        allowed = port.rate_bps * CREDIT_RATE_FRACTION_NUM / CREDIT_RATE_FRACTION_DEN
+        # Generous envelope: the meter bounds the long-run average; bursts
+        # of 2 credits and the 84..92 B size spread add slack.
+        assert credit_rate < allowed * 1.15
+
+
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario)
+def test_data_queue_bounded_by_calculus_style_envelope(params_dict):
+    """Single-switch fabric: the data queue never exceeds a small envelope
+    (credit queue depth + fan-in jitter), far below proportional-to-flows."""
+    sim, topo, flows = build(params_dict)
+    sim.run(until=2 * SEC)
+    # 8 credits' worth of data per port plus slack — never O(flows) MTUs.
+    assert topo.net.max_data_queue_bytes() <= 16 * 1538

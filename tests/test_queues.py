@@ -1,0 +1,187 @@
+"""Tests for queueing primitives: token bucket, data/credit queues, phantom."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import credit_packet, data_packet
+from repro.net.queues import CreditQueue, DataQueue, PhantomQueue, TokenBucket
+from repro.sim.units import GBPS, SEC, US
+
+
+def data(n=1500, ecn=False, seq=0):
+    return data_packet(1, 2, None, n, seq=seq, ecn_capable=ecn)
+
+
+def credit(seq=0, wire=84):
+    return credit_packet(2, 1, None, seq, wire)
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(GBPS, burst_bytes=100)
+        assert bucket.try_consume(100, now_ps=0)
+        assert not bucket.try_consume(1, now_ps=0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(8 * GBPS, burst_bytes=1000)  # 1 byte per ns
+        bucket.try_consume(1000, 0)
+        assert not bucket.try_consume(500, 0)
+        assert bucket.try_consume(500, 500_000)  # 500 ns later
+
+    def test_burst_caps_accumulation(self):
+        bucket = TokenBucket(8 * GBPS, burst_bytes=100)
+        bucket.try_consume(100, 0)
+        # After a long idle, only `burst` is available.
+        assert bucket.try_consume(100, SEC)
+        assert not bucket.try_consume(1, SEC)
+
+    def test_time_until_exact(self):
+        bucket = TokenBucket(8 * GBPS, burst_bytes=100, start_full=False)
+        wait = bucket.time_until(100, 0)
+        assert wait == 100_000  # 100 bytes at 1 byte/ns
+        assert bucket.try_consume(100, wait)
+
+    def test_time_until_zero_when_available(self):
+        bucket = TokenBucket(GBPS, burst_bytes=50)
+        assert bucket.time_until(50, 0) == 0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 10)
+
+
+class TestDataQueue:
+    def test_fifo_order(self):
+        q = DataQueue(10_000)
+        first, second = data(seq=1), data(seq=2)
+        q.enqueue(first, 0)
+        q.enqueue(second, 0)
+        assert q.dequeue(0) is first
+        assert q.dequeue(0) is second
+        assert q.dequeue(0) is None
+
+    def test_drop_tail_on_overflow(self):
+        q = DataQueue(3000)
+        assert q.enqueue(data(1500), 0)
+        assert not q.enqueue(data(1500), 0)  # 1538+1538 > 3000
+        assert q.stats.dropped == 1
+
+    def test_byte_accounting(self):
+        q = DataQueue(10_000)
+        q.enqueue(data(1500), 0)
+        assert q.bytes == 1538
+        q.dequeue(0)
+        assert q.bytes == 0
+
+    def test_ecn_marks_above_threshold(self):
+        q = DataQueue(100_000, ecn_threshold_bytes=3000)
+        a, b, c = data(1500, ecn=True), data(1500, ecn=True), data(1500, ecn=True)
+        q.enqueue(a, 0)
+        q.enqueue(b, 0)  # 3076 > 3000 -> marked
+        q.enqueue(c, 0)
+        assert not a.ecn_marked
+        assert b.ecn_marked and c.ecn_marked
+
+    def test_ecn_ignores_non_capable(self):
+        q = DataQueue(100_000, ecn_threshold_bytes=0)
+        pkt = data(1500, ecn=False)
+        q.enqueue(pkt, 0)
+        assert not pkt.ecn_marked
+
+    def test_max_bytes_stat(self):
+        q = DataQueue(10_000)
+        q.enqueue(data(1500), 0)
+        q.enqueue(data(1500), 0)
+        q.dequeue(0)
+        assert q.stats.max_bytes == 2 * 1538
+
+    def test_time_weighted_average(self):
+        q = DataQueue(10_000)
+        q.enqueue(data(1500), 0)      # 1538 B for [0, 100)
+        q.dequeue(100)                # 0 B for [100, 200)
+        assert q.stats.average_bytes(200) == pytest.approx(1538 / 2)
+
+
+class TestCreditQueue:
+    def test_capacity_in_packets(self):
+        q = CreditQueue(2)
+        assert q.enqueue(credit(0), 0)
+        assert q.enqueue(credit(1), 0)
+        assert not q.enqueue(credit(2), 0)
+        assert q.stats.dropped == 1
+
+    def test_head_peek(self):
+        q = CreditQueue(4)
+        first = credit(0)
+        q.enqueue(first, 0)
+        q.enqueue(credit(1), 0)
+        assert q.head() is first
+        assert q.dequeue(0) is first
+
+    def test_minimum_capacity(self):
+        with pytest.raises(ValueError):
+            CreditQueue(0)
+
+    def test_byte_accounting_with_random_sizes(self):
+        q = CreditQueue(4)
+        q.enqueue(credit(0, 84), 0)
+        q.enqueue(credit(1, 92), 0)
+        assert q.bytes == 176
+        q.dequeue(0)
+        assert q.bytes == 92
+
+
+class TestPhantomQueue:
+    def test_marks_when_virtual_backlog_exceeds_threshold(self):
+        pq = PhantomQueue(10 * GBPS, gamma=0.95, mark_threshold_bytes=3000)
+        pkts = [data(1500, ecn=True) for _ in range(3)]
+        for pkt in pkts:
+            pq.on_arrival(pkt, 0)  # no drain at t=0
+        assert not pkts[0].ecn_marked
+        assert pkts[1].ecn_marked and pkts[2].ecn_marked
+
+    def test_drains_at_gamma_rate(self):
+        pq = PhantomQueue(10 * GBPS, gamma=0.95, mark_threshold_bytes=3000)
+        pq.on_arrival(data(1500, ecn=True), 0)
+        pq.on_arrival(data(1500, ecn=True), 0)
+        # After 10 us, 0.95*10G*10us/8 ~ 11.9 KB drained: back to zero.
+        late = data(1500, ecn=True)
+        pq.on_arrival(late, 10 * US)
+        assert not late.ecn_marked
+
+    def test_vbytes_never_negative(self):
+        pq = PhantomQueue(10 * GBPS)
+        pq.on_arrival(data(100, ecn=True), 0)
+        pq.on_arrival(data(100, ecn=True), SEC)
+        assert pq.vbytes >= 0
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            PhantomQueue(GBPS, gamma=0.0)
+        with pytest.raises(ValueError):
+            PhantomQueue(GBPS, gamma=1.5)
+
+
+@given(st.lists(st.sampled_from([84, 88, 92]), min_size=1, max_size=30))
+def test_credit_queue_never_exceeds_capacity(sizes):
+    q = CreditQueue(8)
+    for i, size in enumerate(sizes):
+        q.enqueue(credit(i, size), i)
+    assert len(q) <= 8
+    assert q.stats.enqueued + q.stats.dropped == len(sizes)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1500), min_size=1, max_size=50))
+def test_data_queue_bytes_match_contents(payloads):
+    q = DataQueue(20_000)
+    expected = 0
+    for i, p in enumerate(payloads):
+        pkt = data(p, seq=i)
+        if q.enqueue(pkt, 0):
+            expected += pkt.wire_bytes
+    assert q.bytes == expected
+    drained = 0
+    while q.dequeue(0) is not None:
+        drained += 1
+    assert q.bytes == 0
+    assert drained == q.stats.enqueued

@@ -1,0 +1,142 @@
+"""Tests for the RCP, HULL, and DX baselines."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, SEC, US
+from repro.transport.dctcp import dctcp_marking_threshold_bytes
+from repro.transport.dx import DxFlow
+from repro.transport.hull import HullFlow, install_phantom_queues
+from repro.transport.rcp import RcpFlow, RcpLinkController, install_rcp
+
+from tests.conftest import small_dumbbell
+
+
+class TestRcpController:
+    def test_rate_decreases_under_overload(self, sim):
+        topo = small_dumbbell(sim)
+        port = topo.bottleneck_fwd
+        ctl = RcpLinkController(sim, port, avg_rtt_ps=30 * US)
+        start = ctl.rate_bps
+        # Simulate 2x overload for a few update periods.
+        from repro.net.packet import data_packet
+        for step in range(5):
+            for i in range(60):
+                ctl.on_arrival(data_packet(0, 1, None, 1500, seq=i), sim.now)
+            sim.run(until=(step + 1) * 30 * US)
+        assert ctl.rate_bps < start
+
+    def test_rate_recovers_when_idle(self, sim):
+        topo = small_dumbbell(sim)
+        ctl = RcpLinkController(sim, topo.bottleneck_fwd, avg_rtt_ps=30 * US)
+        ctl.rate_bps = ctl.min_rate_bps
+        sim.run(until=3 * MS)
+        assert ctl.rate_bps > ctl.min_rate_bps * 10
+
+    def test_stamps_minimum_along_path(self, sim):
+        topo = small_dumbbell(sim)
+        ctl = RcpLinkController(sim, topo.bottleneck_fwd, avg_rtt_ps=30 * US)
+        ctl.rate_bps = 3e9
+        from repro.net.packet import data_packet
+        pkt = data_packet(0, 1, None, 1500, seq=0)
+        pkt.rcp_rate = 5e9
+        ctl.on_arrival(pkt, 0)
+        assert pkt.rcp_rate == 3e9
+        pkt.rcp_rate = 1e9  # an earlier link was tighter
+        ctl.on_arrival(pkt, 0)
+        assert pkt.rcp_rate == 1e9
+
+    def test_acks_not_counted_as_load(self, sim):
+        topo = small_dumbbell(sim)
+        ctl = RcpLinkController(sim, topo.bottleneck_fwd, avg_rtt_ps=30 * US)
+        from repro.net.packet import Packet, PacketKind
+        ack = Packet(PacketKind.ACK, 0, 1)
+        ctl.on_arrival(ack, 0)
+        assert ctl._arrived_bytes == 0
+
+
+class TestRcpFlow:
+    def test_two_flows_converge_to_half_rate(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=2)
+        install_rcp(sim, topo.net.ports, avg_rtt_ps=30 * US)
+        flows = [RcpFlow(s, r, None) for s, r in zip(topo.senders, topo.receivers)]
+        sim.run(until=10 * MS)
+        base = [f.bytes_delivered for f in flows]
+        sim.run(until=20 * MS)
+        rates = [(f.bytes_delivered - b) * 8 / 0.01 for f, b in zip(flows, base)]
+        for f in flows:
+            f.stop()
+        for rate in rates:
+            assert rate == pytest.approx(5e9, rel=0.3)
+
+    def test_new_flow_starts_at_link_rate(self, sim):
+        topo = small_dumbbell(sim)
+        install_rcp(sim, topo.net.ports, avg_rtt_ps=30 * US)
+        flow = RcpFlow(topo.senders[0], topo.receivers[0], None)
+        assert flow.rate_bps == pytest.approx(10 * GBPS)
+        flow.stop()
+
+
+class TestHull:
+    def test_phantom_caps_utilization_below_capacity(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=2)
+        install_phantom_queues(topo.net.ports, gamma=0.95,
+                               mark_threshold_bytes=3000)
+        flows = [HullFlow(s, r, None) for s, r in zip(topo.senders, topo.receivers)]
+        sim.run(until=20 * MS)
+        base = sum(f.bytes_delivered for f in flows)
+        sim.run(until=40 * MS)
+        rate = (sum(f.bytes_delivered for f in flows) - base) * 8 / 0.02
+        for f in flows:
+            f.stop()
+        assert rate < 0.99 * 10 * GBPS
+
+    def test_real_queue_stays_small(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=4)
+        install_phantom_queues(topo.net.ports, gamma=0.95,
+                               mark_threshold_bytes=3000)
+        flows = [HullFlow(s, r, None) for s, r in zip(topo.senders, topo.receivers)]
+        sim.run(until=30 * MS)
+        for f in flows:
+            f.stop()
+        # HULL's entire point: real queues an order below DCTCP's K (~100KB).
+        assert topo.net.max_data_queue_bytes() < 60_000
+
+
+class TestDx:
+    def test_window_grows_when_delay_zero(self, sim):
+        topo = small_dumbbell(sim)
+        flow = DxFlow(topo.senders[0], topo.receivers[0], None)
+        flow._base_rtt_ps = 25 * US
+        before = flow.cwnd
+        flow.cc_on_round(acks=5, marks=0, avg_rtt_ps=25 * US)
+        assert flow.cwnd == before + 1
+        flow.stop()
+
+    def test_window_shrinks_with_queueing_delay(self, sim):
+        topo = small_dumbbell(sim)
+        flow = DxFlow(topo.senders[0], topo.receivers[0], None)
+        flow._base_rtt_ps = 25 * US
+        flow.cwnd = 40.0
+        flow.cc_on_round(acks=5, marks=0, avg_rtt_ps=50 * US)  # 25us queueing
+        assert flow.cwnd < 40.0
+        flow.stop()
+
+    def test_keeps_queue_very_low(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=4)
+        flows = [DxFlow(s, r, None) for s, r in zip(topo.senders, topo.receivers)]
+        sim.run(until=30 * MS)
+        for f in flows:
+            f.stop()
+        assert topo.net.max_data_queue_bytes() < 60_000
+
+    def test_transfer_completes(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim)
+        flow = DxFlow(topo.senders[0], topo.receivers[0], 1_000_000)
+        sim.run(until=SEC)
+        assert flow.completed

@@ -1,0 +1,192 @@
+"""Tests for the RDMA-era baselines (DCQCN, TIMELY) and the PFC substrate."""
+
+import pytest
+
+from repro.net.pfc import PfcController, install_pfc
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, SEC, US
+from repro.transport.dcqcn import DcqcnFlow, install_dcqcn_marking
+from repro.transport.timely import TimelyFlow
+
+from tests.conftest import small_dumbbell, small_star
+
+
+class TestPfc:
+    def test_validation(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            PfcController(sim, xoff_bytes=100, xon_bytes=100)
+
+    def test_pause_prevents_loss_under_blast(self):
+        """Uncontrolled senders + PFC: zero loss, pauses instead."""
+        from repro.transport.base import RateFlow
+
+        sim = Simulator(seed=1)
+        topo = small_star(sim, 5)
+        pfc = install_pfc(sim, topo.net.ports,
+                          xoff_bytes=100_000, xon_bytes=60_000)
+        sink = topo.hosts[0]
+        flows = [RateFlow(h, sink, None, initial_rate_bps=9e9)
+                 for h in topo.hosts[1:]]
+        sim.run(until=20 * MS)
+        for f in flows:
+            f.stop()
+        # Hosts never drop: they are paused instead (lossless fabric)...
+        switch_ports = [p for p in topo.net.ports if p.node is topo.switch]
+        assert sum(p.data_queue.stats.dropped for p in switch_ports) == 0
+        assert pfc.pauses_sent > 0
+        assert pfc.resumes_sent > 0
+
+    def test_pause_blocks_data_not_credits(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim)
+        port = topo.bottleneck_fwd
+        port.set_pfc_paused(True)
+        from repro.net.packet import credit_packet, data_packet
+        src, dst = topo.senders[0].id, topo.receivers[0].id
+        port.send(data_packet(src, dst, None, 1500, seq=0))
+        port.send(credit_packet(dst, src, None, 0))
+        sim.run(until=1 * MS)
+        assert port.stats.credit_pkts_sent == 1
+        assert port.stats.data_pkts_sent == 0
+        port.set_pfc_paused(False)
+        sim.run(until=2 * MS)
+        assert port.stats.data_pkts_sent == 1
+
+    def test_head_of_line_blocking_is_observable(self):
+        """PFC's known pathology: an incast victim pauses innocent traffic."""
+        from repro.transport.base import RateFlow
+
+        sim = Simulator(seed=1)
+        topo = small_star(sim, 6)
+        install_pfc(sim, topo.net.ports,
+                    xoff_bytes=80_000, xon_bytes=40_000)
+        victim_sink = topo.hosts[0]
+        innocent_sink = topo.hosts[1]
+        blasters = [RateFlow(h, victim_sink, None, initial_rate_bps=9e9)
+                    for h in topo.hosts[2:5]]
+        innocent = RateFlow(topo.hosts[5], innocent_sink, None,
+                            initial_rate_bps=5e9)
+        sim.run(until=20 * MS)
+        for f in blasters + [innocent]:
+            f.stop()
+        # The innocent flow shares no congested link, yet the switch-wide
+        # pauses throttle it well below its sending rate.
+        innocent_rate = innocent.bytes_delivered * 8 / 0.02
+        assert innocent_rate < 4e9
+
+
+class TestDcqcn:
+    def _run(self, n, ms=40, pfc=True):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=n)
+        install_dcqcn_marking(topo.net.ports, sim=sim)
+        if pfc:
+            install_pfc(sim, topo.net.ports)
+        flows = [DcqcnFlow(s, r, None)
+                 for s, r in zip(topo.senders, topo.receivers)]
+        sim.run(until=ms * MS)
+        for f in flows:
+            f.stop()
+        return sim, topo, flows
+
+    def test_rate_backs_off_under_congestion(self):
+        sim, topo, flows = self._run(4)
+        for flow in flows:
+            assert flow.cnps_received > 0
+            assert flow.rate_bps < 10 * GBPS
+
+    def test_reasonable_sharing(self):
+        sim, topo, flows = self._run(2, ms=60)
+        rates = [f.bytes_delivered * 8 / 0.06 for f in flows]
+        assert sum(rates) > 6e9  # decent utilization
+        assert min(rates) > 0.2 * max(rates)
+
+    def test_cnp_throttled(self):
+        sim, topo, flows = self._run(4, ms=20)
+        for flow in flows:
+            # At most one CNP per cnp_interval of elapsed time.
+            assert flow.cnps_received <= 20 * MS / flow.cnp_interval_ps + 2
+
+    def test_alpha_tracks_congestion(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim)
+        flow = DcqcnFlow(topo.senders[0], topo.receivers[0], None)
+        flow.alpha = 0.5
+        flow._on_cnp()
+        assert flow.alpha > 0.5
+        flow.stop()
+
+    def test_recovery_returns_to_line_rate_when_alone(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim)
+        install_dcqcn_marking(topo.net.ports, sim=sim)
+        flow = DcqcnFlow(topo.senders[0], topo.receivers[0], None)
+        sim.run(until=60 * MS)
+        flow.stop()
+        # A single sender should be at/near line rate.
+        assert flow.rate_bps > 8e9
+
+    def test_sized_transfer_completes(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=2)
+        install_dcqcn_marking(topo.net.ports, sim=sim)
+        install_pfc(sim, topo.net.ports)
+        flows = [DcqcnFlow(s, r, 2_000_000)
+                 for s, r in zip(topo.senders, topo.receivers)]
+        sim.run(until=SEC)
+        assert all(f.completed for f in flows)
+
+
+class TestTimely:
+    def test_increase_when_rtt_low(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim)
+        flow = TimelyFlow(topo.senders[0], topo.receivers[0], None)
+        flow._prev_rtt_ps = 30 * US
+        before = flow.rate_bps
+        flow._update_rate(30 * US)  # below t_low
+        assert flow.rate_bps > before
+        flow.stop()
+
+    def test_hard_brake_above_t_high(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim)
+        flow = TimelyFlow(topo.senders[0], topo.receivers[0], None)
+        flow._prev_rtt_ps = 400 * US
+        flow.rate_bps = 5e9
+        flow._update_rate(1000 * US)
+        assert flow.rate_bps < 5e9
+        flow.stop()
+
+    def test_gradient_decrease(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim)
+        flow = TimelyFlow(topo.senders[0], topo.receivers[0], None,
+                          t_low_ps=10 * US)
+        flow.rate_bps = 5e9
+        flow._prev_rtt_ps = 60 * US
+        for rtt in (80 * US, 100 * US, 120 * US):  # rising RTT
+            flow._update_rate(rtt)
+        assert flow.rate_bps < 5e9
+        flow.stop()
+
+    def test_two_flows_share_without_loss_on_pfc(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim, n_pairs=2)
+        install_pfc(sim, topo.net.ports)
+        flows = [TimelyFlow(s, r, None)
+                 for s, r in zip(topo.senders, topo.receivers)]
+        sim.run(until=60 * MS)
+        for f in flows:
+            f.stop()
+        rates = [f.bytes_delivered * 8 / 0.06 for f in flows]
+        assert sum(rates) > 5e9
+        assert min(rates) > 0.15 * max(rates)
+
+    def test_sized_transfer_completes(self):
+        sim = Simulator(seed=1)
+        topo = small_dumbbell(sim)
+        flow = TimelyFlow(topo.senders[0], topo.receivers[0], 2_000_000)
+        sim.run(until=SEC)
+        assert flow.completed

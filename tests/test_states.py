@@ -1,0 +1,59 @@
+"""Tests for the Fig 7 sender/receiver state machines."""
+
+import pytest
+
+from repro.core.states import (
+    ReceiverState,
+    SenderState,
+    check_receiver_transition,
+    check_sender_transition,
+)
+
+
+class TestSenderTransitions:
+    def test_happy_path(self):
+        path = [SenderState.IDLE, SenderState.CREQ_SENT,
+                SenderState.CREDIT_RECEIVING, SenderState.CSTOP_SENT,
+                SenderState.CLOSED]
+        for old, new in zip(path, path[1:]):
+            check_sender_transition(old, new)
+
+    def test_request_retransmit_loop(self):
+        check_sender_transition(SenderState.CREQ_SENT, SenderState.CREQ_SENT)
+
+    def test_new_data_reopens(self):
+        check_sender_transition(SenderState.CSTOP_SENT,
+                                SenderState.CREDIT_RECEIVING)
+
+    def test_stop_retransmit_loop(self):
+        check_sender_transition(SenderState.CSTOP_SENT, SenderState.CSTOP_SENT)
+
+    @pytest.mark.parametrize("old,new", [
+        (SenderState.IDLE, SenderState.CREDIT_RECEIVING),
+        (SenderState.IDLE, SenderState.CLOSED),
+        (SenderState.CREDIT_RECEIVING, SenderState.IDLE),
+        (SenderState.CLOSED, SenderState.CREQ_SENT),
+    ])
+    def test_illegal_transitions_raise(self, old, new):
+        with pytest.raises(RuntimeError):
+            check_sender_transition(old, new)
+
+
+class TestReceiverTransitions:
+    def test_happy_path(self):
+        check_receiver_transition(ReceiverState.IDLE,
+                                  ReceiverState.CREDIT_SENDING)
+        check_receiver_transition(ReceiverState.CREDIT_SENDING,
+                                  ReceiverState.STOPPED)
+
+    def test_direct_stop(self):
+        check_receiver_transition(ReceiverState.IDLE, ReceiverState.STOPPED)
+
+    @pytest.mark.parametrize("old,new", [
+        (ReceiverState.STOPPED, ReceiverState.CREDIT_SENDING),
+        (ReceiverState.CREDIT_SENDING, ReceiverState.IDLE),
+        (ReceiverState.STOPPED, ReceiverState.IDLE),
+    ])
+    def test_illegal_transitions_raise(self, old, new):
+        with pytest.raises(RuntimeError):
+            check_receiver_transition(old, new)

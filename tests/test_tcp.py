@@ -1,0 +1,93 @@
+"""Tests for TCP Reno and CUBIC congestion control."""
+
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, SEC, US
+from repro.transport.tcp import CubicFlow, RenoFlow
+
+from tests.conftest import small_dumbbell
+
+
+class TestReno:
+    def test_slow_start_doubles(self, sim):
+        topo = small_dumbbell(sim)
+        flow = RenoFlow(topo.senders[0], topo.receivers[0], None)
+        sim.run(until=200 * US)
+        flow.stop()
+        # Several RTTs of slow start from cwnd=2 at ~25 us RTT.
+        assert flow.cwnd > 16
+
+    def test_dupack_halves_window(self, sim):
+        topo = small_dumbbell(sim)
+        flow = RenoFlow(topo.senders[0], topo.receivers[0], None)
+        flow.cwnd = 64.0
+        flow.ssthresh = 1.0  # force congestion avoidance
+        flow.cc_on_dupack_loss()
+        assert flow.cwnd == 32.0
+
+    def test_timeout_collapses_window(self, sim):
+        topo = small_dumbbell(sim)
+        flow = RenoFlow(topo.senders[0], topo.receivers[0], None)
+        flow.cwnd = 64.0
+        flow.cc_on_timeout()
+        assert flow.cwnd == flow.min_cwnd
+        assert flow.ssthresh == 32.0
+
+    def test_congestion_avoidance_linear(self, sim):
+        topo = small_dumbbell(sim)
+        flow = RenoFlow(topo.senders[0], topo.receivers[0], None)
+        flow.ssthresh = 1.0
+        flow.cwnd = 10.0
+        flow.cc_on_ack(1, False, None)
+        assert flow.cwnd == 10.1
+
+    def test_transfer_completes_despite_losses(self, sim):
+        topo = small_dumbbell(sim, data_capacity_bytes=8 * 1538)
+        flow = RenoFlow(topo.senders[0], topo.receivers[0], 500_000)
+        sim.run(until=SEC)
+        assert flow.completed
+
+
+class TestCubic:
+    def test_slow_start_until_first_loss(self, sim):
+        topo = small_dumbbell(sim)
+        flow = CubicFlow(topo.senders[0], topo.receivers[0], None)
+        before = flow.cwnd
+        flow.cc_on_ack(4, False, None)
+        assert flow.cwnd == before + 4
+
+    def test_loss_keeps_beta_fraction(self, sim):
+        topo = small_dumbbell(sim)
+        flow = CubicFlow(topo.senders[0], topo.receivers[0], None)
+        flow.cwnd = 100.0
+        flow.cc_on_dupack_loss()
+        assert flow.cwnd == 70.0
+
+    def test_cubic_growth_accelerates_far_from_wmax(self, sim):
+        topo = small_dumbbell(sim)
+        flow = CubicFlow(topo.senders[0], topo.receivers[0], None)
+        flow.cwnd = 100.0
+        flow.cc_on_dupack_loss()  # sets epoch, K
+        # Immediately after the loss the target is below/at w_max; far in the
+        # future the cubic term dominates.
+        flow._epoch_start_ps = sim.now
+        near = flow._cubic_window()
+        flow._epoch_start_ps = sim.now - 5 * SEC
+        far = flow._cubic_window()
+        assert far > near
+
+    def test_transfer_completes(self, sim):
+        topo = small_dumbbell(sim, data_capacity_bytes=8 * 1538)
+        flow = CubicFlow(topo.senders[0], topo.receivers[0], 500_000)
+        sim.run(until=SEC)
+        assert flow.completed
+
+    def test_two_cubic_flows_share(self, sim):
+        topo = small_dumbbell(sim, n_pairs=2)
+        flows = [CubicFlow(s, r, None)
+                 for s, r in zip(topo.senders, topo.receivers)]
+        sim.run(until=20 * MS)
+        rates = [f.bytes_delivered for f in flows]
+        for f in flows:
+            f.stop()
+        assert min(rates) > 0
+        assert sum(rates) * 8 / 0.02 > 5e9  # at least half the link used

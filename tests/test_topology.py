@@ -1,0 +1,137 @@
+"""Tests for topology builders."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, US
+from repro.topology import (
+    LinkSpec,
+    dumbbell,
+    fat_tree,
+    multi_bottleneck,
+    oversubscribed_clos,
+    parking_lot,
+    single_switch,
+)
+
+
+class TestDumbbell:
+    def test_structure(self):
+        sim = Simulator(seed=0)
+        topo = dumbbell(sim, n_pairs=3)
+        assert len(topo.senders) == 3
+        assert len(topo.receivers) == 3
+        assert len(topo.net.switches) == 2
+        assert topo.bottleneck_fwd.node.name == "L"
+        assert topo.bottleneck_rev.node.name == "R"
+
+    def test_edge_defaults_to_bottleneck_spec(self):
+        sim = Simulator(seed=0)
+        spec = LinkSpec(rate_bps=40 * GBPS)
+        topo = dumbbell(sim, n_pairs=1, bottleneck=spec)
+        assert topo.senders[0].nic.rate_bps == 40 * GBPS
+
+
+class TestSingleSwitch:
+    def test_structure(self):
+        sim = Simulator(seed=0)
+        topo = single_switch(sim, 5)
+        assert len(topo.hosts) == 5
+        assert len(topo.net.switches) == 1
+        assert len(topo.net.ports) == 10  # 5 full-duplex links
+
+
+class TestParkingLot:
+    def test_chain_length(self):
+        sim = Simulator(seed=0)
+        topo = parking_lot(sim, 4)
+        assert len(topo.bottleneck_ports) == 4
+        assert len(topo.cross_srcs) == 4
+        assert len(topo.net.switches) == 5
+
+    def test_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            parking_lot(Simulator(seed=0), 0)
+
+
+class TestMultiBottleneck:
+    def test_structure(self):
+        sim = Simulator(seed=0)
+        topo = multi_bottleneck(sim, 3)
+        assert len(topo.cross_srcs) == 3
+        assert len(topo.flow0_dst_hosts) == 4  # flow0's dst + 3 cross dsts
+        assert topo.link2_port.node.name == "swB"
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_element_counts(self, k):
+        sim = Simulator(seed=0)
+        ft = fat_tree(sim, k)
+        half = k // 2
+        assert len(ft.cores) == half * half
+        assert len(ft.aggs) == k * half
+        assert len(ft.tors) == k * half
+        assert len(ft.hosts) == k * half * half
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(Simulator(seed=0), 3)
+
+    def test_port_counts(self):
+        sim = Simulator(seed=0)
+        ft = fat_tree(sim, 4)
+        tor = ft.tors[0]
+        # k/2 hosts + k/2 aggs
+        assert len(tor.ports) == 4
+        core = ft.cores[0]
+        assert len(core.ports) == 4  # one agg per pod
+
+    def test_distinct_edge_core_speeds(self):
+        sim = Simulator(seed=0)
+        ft = fat_tree(sim, 4,
+                      edge=LinkSpec(rate_bps=10 * GBPS),
+                      core=LinkSpec(rate_bps=40 * GBPS))
+        agg = ft.aggs[0]
+        core_port = next(p for p in agg.ports.values()
+                         if p.peer in ft.cores)
+        tor_port = next(p for p in agg.ports.values()
+                        if p.peer in ft.tors)
+        assert core_port.rate_bps == 40 * GBPS
+        assert tor_port.rate_bps == 10 * GBPS
+
+
+class TestClos:
+    def test_default_structure(self):
+        sim = Simulator(seed=0)
+        clos = oversubscribed_clos(sim)
+        assert len(clos.cores) == 4
+        assert len(clos.aggs) == 8
+        assert len(clos.tors) == 8
+        assert len(clos.hosts) == 48
+        assert clos.oversubscription == pytest.approx(3.0)
+
+    def test_tor_uplink_count(self):
+        sim = Simulator(seed=0)
+        clos = oversubscribed_clos(sim)
+        assert len(clos.tor_uplink_ports) == 8 * 2  # each ToR x aggs per pod
+
+    def test_core_grouping_validation(self):
+        with pytest.raises(ValueError):
+            oversubscribed_clos(Simulator(seed=0), n_core=3, n_agg_per_pod=2)
+
+
+class TestNetworkAudits:
+    def test_drop_and_queue_audits_start_clean(self):
+        sim = Simulator(seed=0)
+        topo = single_switch(sim, 3)
+        assert topo.net.total_data_drops() == 0
+        assert topo.net.total_credit_drops() == 0
+        assert topo.net.max_data_queue_bytes() == 0
+
+    def test_port_between(self):
+        sim = Simulator(seed=0)
+        topo = single_switch(sim, 2)
+        port = topo.net.port_between(topo.switch, topo.hosts[0])
+        assert port.node is topo.switch
+        assert port.peer is topo.hosts[0]

@@ -1,0 +1,79 @@
+"""Tests for workload trace save/replay."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads import WEB_SERVER, FlowSpec, poisson_specs
+from repro.workloads.traces import dump_trace, load_trace
+
+
+def roundtrip(specs):
+    buf = io.StringIO()
+    dump_trace(specs, buf)
+    buf.seek(0)
+    return load_trace(buf)
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert roundtrip([]) == []
+
+    def test_preserves_everything(self):
+        specs = [FlowSpec(0, 1, 1000, 0), FlowSpec(2, 3, 5, 99)]
+        assert roundtrip(specs) == specs
+
+    def test_generated_workload_roundtrips(self):
+        rng = random.Random(3)
+        specs = poisson_specs(rng, WEB_SERVER, 200, 10, 1e5)
+        assert roundtrip(specs) == specs
+
+    def test_file_paths(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        specs = [FlowSpec(0, 1, 42, 7)]
+        assert dump_trace(specs, path) == 1
+        assert load_trace(path) == specs
+
+
+class TestStrictness:
+    def test_rejects_wrong_header(self):
+        buf = io.StringIO("something else\nsrc,dst,size_bytes,start_ps\n")
+        with pytest.raises(ValueError):
+            load_trace(buf)
+
+    def test_rejects_wrong_columns(self):
+        buf = io.StringIO("# repro-flow-trace v1\na,b\n")
+        with pytest.raises(ValueError):
+            load_trace(buf)
+
+    def test_rejects_malformed_line(self):
+        buf = io.StringIO("# repro-flow-trace v1\nsrc,dst,size_bytes,start_ps\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_trace(buf)
+
+    def test_rejects_self_flow(self):
+        buf = io.StringIO("# repro-flow-trace v1\nsrc,dst,size_bytes,start_ps\n1,1,10,0\n")
+        with pytest.raises(ValueError):
+            load_trace(buf)
+
+    def test_rejects_bad_size(self):
+        buf = io.StringIO("# repro-flow-trace v1\nsrc,dst,size_bytes,start_ps\n1,2,0,0\n")
+        with pytest.raises(ValueError):
+            load_trace(buf)
+
+    def test_skips_comments_and_blanks(self):
+        buf = io.StringIO(
+            "# repro-flow-trace v1\nsrc,dst,size_bytes,start_ps\n"
+            "\n# a comment\n1,2,10,0\n")
+        assert load_trace(buf) == [FlowSpec(1, 2, 10, 0)]
+
+
+@given(st.lists(
+    st.tuples(st.integers(0, 50), st.integers(51, 100),
+              st.integers(1, 10**9), st.integers(0, 10**12)),
+    max_size=50))
+def test_roundtrip_property(raw):
+    specs = [FlowSpec(*t) for t in raw]
+    assert roundtrip(specs) == specs

@@ -1,0 +1,69 @@
+"""Unit tests for time/rate arithmetic."""
+
+import pytest
+
+from repro.sim.units import (
+    GBPS,
+    MS,
+    NS,
+    SEC,
+    US,
+    bits_to_ps,
+    fmt_time,
+    ps_to_seconds,
+    seconds_to_ps,
+    tx_time_ps,
+)
+
+
+class TestBitsToPs:
+    def test_one_byte_at_100g_is_80ps(self):
+        assert bits_to_ps(8, 100 * GBPS) == 80
+
+    def test_mtu_at_10g(self):
+        # 1538 B * 8 b / 10 Gbps = 1230.4 ns
+        assert tx_time_ps(1538, 10 * GBPS) == 1_230_400
+
+    def test_credit_at_10g(self):
+        assert tx_time_ps(84, 10 * GBPS) == 67_200
+
+    def test_rounds_up(self):
+        # 1 bit at 3 bps = 1/3 s; must round up, never down.
+        assert bits_to_ps(1, 3) == (SEC + 2) // 3
+
+    def test_zero_bits(self):
+        assert bits_to_ps(0, GBPS) == 0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            bits_to_ps(8, 0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            tx_time_ps(100, -1)
+
+
+class TestConversions:
+    def test_ps_to_seconds(self):
+        assert ps_to_seconds(SEC) == 1.0
+        assert ps_to_seconds(500 * MS) == 0.5
+
+    def test_seconds_roundtrip(self):
+        assert seconds_to_ps(ps_to_seconds(123_456_789)) == 123_456_789
+
+    def test_unit_ratios(self):
+        assert SEC == 1000 * MS == 10**6 * US == 10**9 * NS
+
+
+class TestFmtTime:
+    def test_picoseconds(self):
+        assert fmt_time(999) == "999 ps"
+
+    def test_microseconds(self):
+        assert fmt_time(25 * US) == "25 us"
+
+    def test_seconds(self):
+        assert fmt_time(2 * SEC) == "2 s"
+
+    def test_milliseconds(self):
+        assert fmt_time(3 * MS) == "3 ms"

@@ -1,0 +1,82 @@
+"""Tests for the terminal visualization helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.viz import bar_chart, cdf_table, hbar, sparkline, timeline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_uses_floor(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_monotone_shape(self):
+        line = sparkline([0, 1, 2, 3], lo=0, hi=3)
+        assert len(line) == 4
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_ascii_mode(self):
+        line = sparkline([0, 10], ascii_only=True)
+        assert line == " @"
+
+    def test_clamps_out_of_range(self):
+        line = sparkline([-5, 100], lo=0, hi=10)
+        assert line[0] == " " and line[-1] == "█"
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_length_matches_input(self, xs):
+        assert len(sparkline(xs)) == len(xs)
+
+
+class TestBars:
+    def test_hbar_full_and_empty(self):
+        assert hbar(10, 10, width=4) == "####"
+        assert hbar(0, 10, width=4) == "    "
+
+    def test_hbar_clamps(self):
+        assert hbar(20, 10, width=4) == "####"
+
+    def test_hbar_rejects_bad_full(self):
+        with pytest.raises(ValueError):
+            hbar(1, 0)
+
+    def test_bar_chart_alignment(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a  |")
+        assert lines[1].startswith("bb |")
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([], []) == ""
+
+
+class TestCdfTable:
+    def test_contains_percentiles(self):
+        text = cdf_table([1, 2, 3, 4, 5], percentiles=(50, 99))
+        assert "50.0" in text and "99.0" in text
+        assert "3" in text
+
+
+class TestTimeline:
+    def test_shared_scale(self):
+        out = timeline({"a": [0, 1], "b": [0, 10]})
+        lines = out.splitlines()
+        # 'a' peaks at 1 of a shared 10-scale: low block; 'b' hits full.
+        assert lines[1].rstrip("|").endswith("█")
+        assert "█" not in lines[0]
+
+    def test_downsampling(self):
+        out = timeline({"x": list(range(100))}, width=10)
+        assert len(out.splitlines()[0]) == len("x |") + 10 + 1
+
+    def test_empty(self):
+        assert timeline({}) == ""
