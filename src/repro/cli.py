@@ -5,22 +5,35 @@ Usage::
     python -m repro list
     python -m repro run fig10
     python -m repro run fig15 --set flow_counts=4,16 --set measure_ps=20000000000
+    python -m repro run fig15 --parallel 4            # sweep on 4 workers
+    python -m repro run fig15 --seed 3 --no-cache     # replicate across seeds
     python -m repro run table1 --json
+    python -m repro cache stats
+    python -m repro cache clear
 
 ``--set key=value`` overrides a keyword argument of the experiment's
 ``run`` function; values are parsed as ints, floats, comma-separated tuples,
 or protocol-name tuples as appropriate (best effort: int, then float, then
 comma-split, then string).
+
+Sweep execution policy — worker count, result cache, retry budget, per-task
+timeout, telemetry sink — is handled by :mod:`repro.runtime`; the ``run``
+flags below override the ``REPRO_*`` environment defaults for one
+invocation.  Runs of sweep-based experiments are memoised: an immediate
+rerun is served from the on-disk cache (disable with ``--no-cache``).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
+import pathlib
 import sys
 from typing import Callable, Dict
 
 from repro.experiments import format_table
+from repro import runtime
 
 
 def _registry() -> Dict[str, Callable]:
@@ -107,7 +120,41 @@ def main(argv=None) -> int:
                       help="override a run(...) keyword argument")
     runp.add_argument("--json", action="store_true",
                       help="emit rows as JSON instead of a table")
+    runp.add_argument("--seed", type=int, default=None,
+                      help="override the experiment's seed (where accepted)")
+    runp.add_argument("--parallel", type=int, default=None, metavar="N",
+                      help="run sweep tasks on N worker processes "
+                           "(0/1 = serial; default REPRO_PARALLEL or 0)")
+    runp.add_argument("--no-cache", action="store_true",
+                      help="disable the on-disk result cache for this run")
+    runp.add_argument("--retries", type=int, default=None, metavar="K",
+                      help="retry a failing sweep task up to K times "
+                           "(default REPRO_RETRIES or 2)")
+    runp.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                      help="best-effort per-task timeout in seconds")
+    runp.add_argument("--telemetry", default=None, metavar="FILE",
+                      help="append sweep events as JSONL to FILE")
+    cachep = sub.add_parser(
+        "cache", help="inspect or clear the experiment result cache")
+    cachep.add_argument("action", choices=("stats", "clear"))
     args = parser.parse_args(argv)
+
+    if args.command == "cache":
+        config = runtime.get_config()
+        cache = runtime.ResultCache(config.resolved_cache_dir(),
+                                    config.max_cache_bytes,
+                                    config.max_cache_entries)
+        if args.action == "stats":
+            stats = cache.stats()
+            print(f"cache dir:  {stats['dir']}")
+            print(f"entries:    {stats['entries']}"
+                  f" (cap {stats['max_entries']})")
+            print(f"total size: {stats['total_bytes'] / 1e6:.2f} MB"
+                  f" (cap {stats['max_bytes'] / 1e6:.0f} MB)")
+        else:
+            removed = cache.clear()
+            print(f"removed {removed} entries from {cache.directory}")
+        return 0
 
     registry = _registry()
     if args.command == "list":
@@ -127,7 +174,30 @@ def main(argv=None) -> int:
         key, _, raw = item.partition("=")
         overrides[key] = _parse_value(raw)
 
-    result = registry[args.experiment](**overrides)
+    fn = registry[args.experiment]
+    if args.seed is not None:
+        params = inspect.signature(fn).parameters
+        if ("seed" in params
+                or any(p.kind == p.VAR_KEYWORD for p in params.values())):
+            overrides["seed"] = args.seed
+        else:
+            print(f"note: {args.experiment} is analytic and takes no seed; "
+                  f"ignoring --seed", file=sys.stderr)
+
+    config_overrides = {}
+    if args.parallel is not None:
+        config_overrides["parallel"] = args.parallel
+    if args.no_cache:
+        config_overrides["cache_enabled"] = False
+    if args.retries is not None:
+        config_overrides["retries"] = args.retries
+    if args.timeout is not None:
+        config_overrides["task_timeout_s"] = args.timeout
+    if args.telemetry:
+        config_overrides["telemetry_path"] = pathlib.Path(args.telemetry)
+
+    with runtime.using(**config_overrides):
+        result = fn(**overrides)
     if args.json:
         print(json.dumps({"name": result.name, "rows": result.rows,
                           "meta": result.meta}, indent=2, default=str))

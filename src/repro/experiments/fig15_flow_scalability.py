@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core import ExpressPassParams
-from repro.experiments.runner import ExperimentResult, get_harness
+from repro.experiments.runner import ExperimentResult, get_harness, run_sweep
 from repro.metrics import jain_index
 from repro.sim.engine import Simulator
 from repro.sim.units import GBPS, MS, US
@@ -57,11 +57,14 @@ def run(
     flow_counts: Sequence[int] = (4, 16, 64, 256),
     **kwargs,
 ) -> ExperimentResult:
-    rows = [
-        run_point(protocol, n, **kwargs)
-        for protocol in protocols
-        for n in flow_counts
-    ]
+    rows = run_sweep(
+        run_point,
+        [{"protocol": protocol, "n_flows": n}
+         for protocol in protocols for n in flow_counts],
+        common=kwargs,
+        name="fig15",
+        label=lambda pt: f"{pt['protocol']}/N={pt['n_flows']}",
+    )
     return ExperimentResult(
         name="Fig 15 flow scalability (utilization / fairness / max queue)",
         columns=["protocol", "flows", "utilization", "fairness",

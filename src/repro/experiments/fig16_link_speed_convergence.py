@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core import ExpressPassParams
-from repro.experiments.runner import ExperimentResult, get_harness
+from repro.experiments.runner import ExperimentResult, get_harness, run_sweep
 from repro.metrics.timeseries import FlowThroughputSampler, convergence_time_ps
 from repro.sim.engine import Simulator
 from repro.sim.units import GBPS, MS, US
@@ -78,24 +78,39 @@ def run_point(
     }
 
 
+def run_point_labeled(label: str, **kwargs) -> dict:
+    """Sweep task: one convergence cell with a display label (e.g. α variant)."""
+    row = run_point(**kwargs)
+    row["protocol"] = label
+    return row
+
+
 def run(
     protocols: Sequence[str] = ("expresspass", "dctcp", "rcp"),
     rates_gbps: Sequence[int] = (10, 100),
     alpha_variants: Sequence[float] = (0.5, 1 / 16),
     **kwargs,
 ) -> ExperimentResult:
-    rows = []
+    points = []
     for rate in rates_gbps:
         for protocol in protocols:
             if protocol == "expresspass":
                 for alpha in alpha_variants:
                     params = ExpressPassParams().with_alpha(alpha, alpha)
-                    row = run_point(protocol, rate * GBPS,
-                                    ep_params=params, **kwargs)
-                    row["protocol"] = f"expresspass(a={alpha:g})"
-                    rows.append(row)
+                    points.append({"label": f"expresspass(a={alpha:g})",
+                                   "protocol": protocol,
+                                   "rate_bps": rate * GBPS,
+                                   "ep_params": params})
             else:
-                rows.append(run_point(protocol, rate * GBPS, **kwargs))
+                points.append({"label": protocol, "protocol": protocol,
+                               "rate_bps": rate * GBPS})
+    rows = run_sweep(
+        run_point_labeled,
+        points,
+        common=kwargs,
+        name="fig16",
+        label=lambda pt: f"{pt['label']}@{pt['rate_bps'] // 10**9}G",
+    )
     return ExperimentResult(
         name="Fig 16 convergence time vs link speed",
         columns=["protocol", "rate_gbps", "convergence_rtts", "converged"],

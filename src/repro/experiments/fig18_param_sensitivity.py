@@ -12,7 +12,7 @@ from typing import Sequence, Tuple
 
 from repro.core import ExpressPassParams
 from repro.experiments.realistic import run_realistic
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import ExperimentResult, run_sweep
 
 #: (α, w_init) pairs along the paper's x-axis.
 DEFAULT_SWEEP: Tuple[Tuple[float, float], ...] = (
@@ -24,6 +24,25 @@ DEFAULT_SWEEP: Tuple[Tuple[float, float], ...] = (
 )
 
 
+def run_point(alpha: float, w_init: float, workload: str, load: float,
+              n_flows: int, **kwargs) -> dict:
+    """One (α, w_init) cell, reduced to its table row.
+
+    The reduction happens *here* (inside the sweep task) rather than in
+    ``run`` because a :class:`RealisticRun` carries live flow/simulator
+    objects — only the extracted row is picklable and cacheable.
+    """
+    params = ExpressPassParams(initial_rate_fraction=alpha, w_init=w_init)
+    result = run_realistic("expresspass", workload, load, n_flows,
+                           ep_params=params, **kwargs)
+    row = {"alpha": f"1/{round(1 / alpha)}", "w_init": f"1/{round(1 / w_init)}"}
+    for bucket in ("S", "L"):
+        stats = result.fct_by_bucket.get(bucket)
+        row[f"p99_fct_{bucket}_ms"] = stats.p99_s * 1e3 if stats else None
+    row["credit_waste"] = result.credit_waste_ratio
+    return row
+
+
 def run(
     sweep: Sequence[Tuple[float, float]] = DEFAULT_SWEEP,
     workload: str = "cache_follower",
@@ -31,17 +50,15 @@ def run(
     n_flows: int = 1000,
     **kwargs,
 ) -> ExperimentResult:
-    rows = []
-    for alpha, w_init in sweep:
-        params = ExpressPassParams(initial_rate_fraction=alpha, w_init=w_init)
-        result = run_realistic("expresspass", workload, load, n_flows,
-                               ep_params=params, **kwargs)
-        row = {"alpha": f"1/{round(1 / alpha)}", "w_init": f"1/{round(1 / w_init)}"}
-        for bucket in ("S", "L"):
-            stats = result.fct_by_bucket.get(bucket)
-            row[f"p99_fct_{bucket}_ms"] = stats.p99_s * 1e3 if stats else None
-        row["credit_waste"] = result.credit_waste_ratio
-        rows.append(row)
+    rows = run_sweep(
+        run_point,
+        [{"alpha": alpha, "w_init": w_init} for alpha, w_init in sweep],
+        common={"workload": workload, "load": load, "n_flows": n_flows,
+                **kwargs},
+        name="fig18",
+        label=lambda pt: f"a=1/{round(1 / pt['alpha'])}"
+                         f",w=1/{round(1 / pt['w_init'])}",
+    )
     return ExperimentResult(
         name=f"Fig 18 (α, w_init) sensitivity — p99 FCT ({workload}, load {load})",
         columns=["alpha", "w_init", "p99_fct_S_ms", "p99_fct_L_ms", "credit_waste"],

@@ -12,9 +12,10 @@ topologies and arrival sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core import ExpressPassFlow, ExpressPassParams
+from repro.runtime import SweepError, SweepPlan, run_tasks
 from repro.net.host import Host
 from repro.sim.engine import Simulator
 from repro.sim.units import US
@@ -72,6 +73,40 @@ def format_table(result: ExperimentResult, float_fmt: str = "{:.4g}") -> str:
     for r in body:
         lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
     return "\n".join(lines)
+
+
+def run_sweep(
+    fn: Callable[..., Any],
+    points: Iterable[Mapping[str, Any]],
+    common: Optional[Mapping[str, Any]] = None,
+    name: Optional[str] = None,
+    label: Optional[Callable[[Mapping[str, Any]], str]] = None,
+    strict: bool = False,
+) -> List[Any]:
+    """Run ``fn(**common, **point)`` for every point of a parameter grid.
+
+    This is the experiments' doorway into :mod:`repro.runtime`: execution
+    policy (worker count, result cache, retries, telemetry) comes from the
+    active runtime config, so ``python -m repro run fig15 --parallel 4`` and
+    ``REPRO_PARALLEL=4 pytest benchmarks/`` parallelise every adopter with
+    no experiment-side changes.  ``fn`` must be a module-level function and
+    each point must carry everything the task needs (including its seed) —
+    that is what makes tasks picklable, cacheable, and order-independent.
+
+    Returns the per-point results **in grid order** (parallel execution is
+    bit-identical to serial).  Tasks that still fail after the runtime's
+    retry budget are dropped from the result (the sweep survives) unless
+    ``strict=True``, in which case :class:`repro.runtime.SweepError` lists
+    them.  A sweep in which *every* task failed raises regardless — that is
+    a broken configuration (e.g. a bad protocol name), not a partial outage,
+    and an empty table would bury the actual error.
+    """
+    plan = SweepPlan.from_grid(fn, points, common, name=name, label=label)
+    results = run_tasks(plan)
+    failures = [r for r in results if not r.ok]
+    if failures and (strict or len(failures) == len(results)):
+        raise SweepError(failures)
+    return [r.value for r in results if r.ok]
 
 
 class ProtocolHarness:

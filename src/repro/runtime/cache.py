@@ -1,0 +1,190 @@
+"""Content-addressed on-disk result cache for experiment tasks.
+
+Key = SHA-256 over ``(task identity, code fingerprint)`` where the task
+identity is the function's qualified name plus a canonical rendering of its
+kwargs (:func:`repro.runtime.task.task_id` — the seed is part of the kwargs),
+and the code fingerprint hashes every ``.py`` source file of the ``repro``
+package plus the task function's own module if it lives outside the package.
+Any source edit therefore invalidates the whole cache — deliberately blunt:
+correctness over cleverness, and a cold rerun of the CI-scale sweeps is
+cheap compared to debugging a stale-cache artefact.
+
+Entries are single pickle files ``<key>.pkl`` holding ``{"value", "task",
+"elapsed_s"}``, written atomically (temp file + rename) so a crashed or
+parallel writer can never leave a torn entry.  LRU state is the file mtime:
+hits re-touch the file, and eviction (size or entry-count cap, whichever
+trips first) removes oldest-touched entries.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Any, Callable, Optional, Tuple
+
+from repro.runtime.task import TaskSpec
+
+_SENTINEL = object()
+
+
+@functools.lru_cache(maxsize=None)
+def _package_fingerprint() -> str:
+    """Hash of all repro package sources (computed once per process)."""
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+@functools.lru_cache(maxsize=None)
+def _module_fingerprint(module_file: str) -> str:
+    digest = hashlib.sha256()
+    try:
+        digest.update(pathlib.Path(module_file).read_bytes())
+    except OSError:
+        digest.update(module_file.encode())
+    return digest.hexdigest()
+
+
+def code_fingerprint(fn: Optional[Callable] = None) -> str:
+    """Fingerprint of the code a task's result depends on."""
+    parts = [_package_fingerprint()]
+    if fn is not None:
+        import repro
+        import sys
+
+        module = sys.modules.get(getattr(fn, "__module__", ""), None)
+        module_file = getattr(module, "__file__", None)
+        if module_file:
+            pkg_root = str(pathlib.Path(repro.__file__).parent)
+            if not str(pathlib.Path(module_file)).startswith(pkg_root):
+                parts.append(_module_fingerprint(module_file))
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of pickled task results with LRU-capped size."""
+
+    def __init__(
+        self,
+        directory: pathlib.Path,
+        max_bytes: int = 512 * 1024 * 1024,
+        max_entries: int = 4096,
+    ):
+        self.directory = pathlib.Path(directory)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+
+    # -- keys ---------------------------------------------------------------
+
+    def key_for(self, spec: TaskSpec) -> str:
+        payload = spec.identity + "\n" + code_fingerprint(spec.fn)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.pkl"
+
+    # -- get / put ----------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``.  A corrupt entry counts as a miss and is removed."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            value = entry["value"]
+        except (OSError, pickle.UnpicklingError, EOFError, KeyError,
+                AttributeError, ImportError, IndexError):
+            if path.exists():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return False, None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return True, value
+
+    def put(self, key: str, value: Any, task: str = "",
+            elapsed_s: float = 0.0) -> bool:
+        """Store a result; returns False if the value is unpicklable."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {"value": value, "task": task, "elapsed_s": elapsed_s}
+        try:
+            blob = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.evict()
+        return True
+
+    # -- hygiene ------------------------------------------------------------
+
+    def _entries(self):
+        if not self.directory.is_dir():
+            return []
+        out = []
+        for path in self.directory.glob("*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((path, st.st_mtime, st.st_size))
+        return out
+
+    def evict(self) -> int:
+        """Drop least-recently-used entries past the size/count caps."""
+        entries = sorted(self._entries(), key=lambda e: e[1])  # oldest first
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        while entries and (len(entries) > self.max_entries
+                           or total > self.max_bytes):
+            path, _, size = entries.pop(0)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        entries = self._entries()
+        return {
+            "dir": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": sum(size for _, _, size in entries),
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+        }
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for path, _, _ in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,133 @@
+"""Runtime configuration: how sweeps execute, cache, retry, and report.
+
+A single :class:`RuntimeConfig` travels (implicitly, via :func:`get_config`)
+from the entry point that knows the user's wishes — the CLI flags, benchmark
+environment variables, or a test — down to :func:`repro.runtime.run_tasks`.
+Experiments never take ``parallel=``/``cache=`` keyword arguments themselves;
+they call ``run_sweep()`` and inherit whatever the active configuration says.
+That keeps every ``run()`` signature about the *science* (flow counts, link
+speeds, seeds) while execution policy stays in one place.
+
+Environment variables (all optional) seed the defaults:
+
+==========================  =====================================================
+``REPRO_PARALLEL``          worker processes (0/1 = serial; default 0)
+``REPRO_NO_CACHE``          "1" disables the result cache
+``REPRO_CACHE_DIR``         cache directory (default ``~/.cache/repro-expresspass``)
+``REPRO_RETRIES``           retry budget per task (default 2)
+``REPRO_TASK_TIMEOUT``      per-task timeout in seconds (default: none)
+``REPRO_TELEMETRY``         path for JSONL event log (default: off)
+``REPRO_PROGRESS``          "1" forces the stderr ticker on, "0" forces it off
+``REPRO_CACHE_MAX_BYTES``   cache size cap before LRU eviction (default 512 MiB)
+``REPRO_CACHE_MAX_ENTRIES`` cache entry cap before LRU eviction (default 4096)
+==========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pathlib
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+_UNSET = object()
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, else XDG cache home, else ``~/.cache``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro-expresspass"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution policy for one or more sweeps.  Immutable; use ``replace``."""
+
+    #: Worker processes.  0 or 1 runs tasks serially in-process.
+    parallel: int = 0
+    cache_enabled: bool = True
+    cache_dir: Optional[pathlib.Path] = None  # None -> default_cache_dir()
+    #: Additional attempts after the first failure (so 2 -> up to 3 calls).
+    retries: int = 2
+    #: Sleep between attempts, doubled each retry (kept tiny: tasks are
+    #: deterministic, so backoff only matters for resource exhaustion).
+    backoff_s: float = 0.05
+    #: Best-effort per-task wall-clock limit (seconds); None = unlimited.
+    task_timeout_s: Optional[float] = None
+    telemetry_path: Optional[pathlib.Path] = None
+    #: True/False force the stderr ticker; None = only when stderr is a tty.
+    progress: Optional[bool] = None
+    max_cache_bytes: int = 512 * 1024 * 1024
+    max_cache_entries: int = 4096
+
+    @classmethod
+    def from_env(cls, environ=None) -> "RuntimeConfig":
+        env = os.environ if environ is None else environ
+
+        def _int(name, default):
+            try:
+                return int(env.get(name, default))
+            except (TypeError, ValueError):
+                return default
+
+        timeout = env.get("REPRO_TASK_TIMEOUT")
+        progress = env.get("REPRO_PROGRESS")
+        telemetry = env.get("REPRO_TELEMETRY")
+        return cls(
+            parallel=_int("REPRO_PARALLEL", 0),
+            cache_enabled=env.get("REPRO_NO_CACHE", "") not in ("1", "true"),
+            cache_dir=(pathlib.Path(env["REPRO_CACHE_DIR"])
+                       if env.get("REPRO_CACHE_DIR") else None),
+            retries=_int("REPRO_RETRIES", 2),
+            task_timeout_s=float(timeout) if timeout else None,
+            telemetry_path=pathlib.Path(telemetry) if telemetry else None,
+            progress=(None if progress in (None, "")
+                      else progress in ("1", "true")),
+            max_cache_bytes=_int("REPRO_CACHE_MAX_BYTES", 512 * 1024 * 1024),
+            max_cache_entries=_int("REPRO_CACHE_MAX_ENTRIES", 4096),
+        )
+
+    def resolved_cache_dir(self) -> pathlib.Path:
+        return self.cache_dir or default_cache_dir()
+
+
+_ACTIVE: Optional[RuntimeConfig] = None
+
+
+def get_config() -> RuntimeConfig:
+    """The active config: whatever :func:`configure` set, else the env."""
+    return _ACTIVE if _ACTIVE is not None else RuntimeConfig.from_env()
+
+
+def configure(**overrides) -> RuntimeConfig:
+    """Set the process-wide active config.
+
+    Starts from the current active config (or the environment) and applies
+    only the given fields, so ``configure(parallel=4)`` keeps cache settings.
+    """
+    global _ACTIVE
+    base = get_config()
+    _ACTIVE = replace(base, **overrides)
+    return _ACTIVE
+
+
+def reset() -> None:
+    """Drop any :func:`configure` overrides; fall back to the environment."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextlib.contextmanager
+def using(**overrides) -> Iterator[RuntimeConfig]:
+    """Temporarily override the active config (tests, nested sweeps)."""
+    global _ACTIVE
+    prior = _ACTIVE
+    try:
+        yield configure(**overrides)
+    finally:
+        _ACTIVE = prior

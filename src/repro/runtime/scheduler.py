@@ -1,0 +1,242 @@
+"""Sweep executor: cache lookup, process pool, retries, serial fallback.
+
+Execution contract (what makes parallel safe for a *reproduction*):
+
+* **Determinism.**  Results are reassembled by task index, never completion
+  order, and every task carries its own seed in its kwargs — so a sweep's
+  rows are bit-identical whether it ran serially, on N workers, or from
+  cache.  Tests assert this.
+* **Fault tolerance.**  A task that raises is retried (``retries`` budget,
+  exponential backoff) and, if it keeps failing, reported as a failed
+  :class:`TaskResult` without killing the sweep.  A broken pool (worker
+  killed, fork failure) or an unpicklable task degrades the remainder of the
+  sweep to in-process serial execution instead of erroring out.
+* **Timeouts are best-effort.**  ``task_timeout_s`` measures from submission
+  (queue + run).  An expired task is cancelled if still queued; if it is
+  already running its result is abandoned (the worker finishes in the
+  background) and the attempt counts as a failure.
+
+Workers are initialised with ``parallel=0`` so a task that itself calls
+``run_sweep`` (e.g. the summary driver invoking another experiment) runs
+serially inside its worker rather than forking a nested pool.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as futures
+import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.config import RuntimeConfig, get_config
+from repro.runtime.task import SweepPlan, TaskSpec
+from repro.runtime.telemetry import Telemetry
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task: a value or an error, never an exception flow."""
+
+    index: int
+    label: str
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 0
+    cached: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SweepError(RuntimeError):
+    """Raised by strict sweeps when tasks failed after all retries."""
+
+    def __init__(self, failures: Sequence[TaskResult]):
+        self.failures = list(failures)
+        detail = "; ".join(f"task#{f.index} {f.label}: {f.error}"
+                           for f in self.failures[:5])
+        super().__init__(f"{len(self.failures)} sweep task(s) failed: {detail}")
+
+
+def _call(spec: TaskSpec) -> Any:
+    """Worker entry point (module-level so it pickles)."""
+    return spec.call()
+
+
+def _worker_init() -> None:
+    """Force serial execution inside workers (no nested pools)."""
+    from repro.runtime import config as _config
+
+    _config.configure(parallel=0, progress=False)
+
+
+def _is_pickling_error(exc: BaseException) -> bool:
+    if isinstance(exc, (pickle.PicklingError, pickle.UnpicklingError)):
+        return True
+    return isinstance(exc, (TypeError, AttributeError)) and "pickle" in str(exc).lower()
+
+
+def run_tasks(
+    tasks: Union[SweepPlan, Sequence[TaskSpec]],
+    name: str = "",
+    config: Optional[RuntimeConfig] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> List[TaskResult]:
+    """Execute tasks under the active config; results ordered by task index."""
+    if isinstance(tasks, SweepPlan):
+        specs = list(tasks.tasks)
+        name = name or tasks.name
+    else:
+        specs = list(tasks)
+        name = name or "sweep"
+    config = config or get_config()
+    tel = telemetry or Telemetry(name, len(specs),
+                                 jsonl_path=config.telemetry_path,
+                                 progress=config.progress)
+
+    cache = None
+    if config.cache_enabled:
+        cache = ResultCache(config.resolved_cache_dir(),
+                            config.max_cache_bytes, config.max_cache_entries)
+
+    results: List[Optional[TaskResult]] = [None] * len(specs)
+    keys: Dict[int, str] = {}
+    pending: List[int] = []
+    for i, spec in enumerate(specs):
+        tel.task_queued(i, spec.label)
+        if cache is not None:
+            keys[i] = cache.key_for(spec)
+            hit, value = cache.get(keys[i])
+            if hit:
+                results[i] = TaskResult(i, spec.label, value=value,
+                                        cached=True)
+                tel.cache_hit(i, spec.label)
+                continue
+            tel.cache_miss(i, spec.label)
+        pending.append(i)
+
+    if pending and config.parallel >= 2:
+        pending = _run_pool(specs, pending, results, config, tel, cache, keys)
+    if pending:
+        _run_serial(specs, pending, results, config, tel, cache, keys)
+
+    tel.close()
+    return [r for r in results if r is not None]
+
+
+def _store(cache: Optional[ResultCache], keys: Dict[int, str], index: int,
+           spec: TaskSpec, value: Any, wall_s: float) -> None:
+    if cache is not None:
+        cache.put(keys[index], value, task=spec.identity, elapsed_s=wall_s)
+
+
+def _run_serial(specs, indices, results, config, tel, cache, keys) -> None:
+    for i in indices:
+        spec = specs[i]
+        attempts = 0
+        while True:
+            attempts += 1
+            tel.task_started(i, spec.label, attempts)
+            start = time.monotonic()
+            try:
+                value = spec.call()
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                if attempts <= config.retries:
+                    tel.task_retry(i, spec.label, attempts, error)
+                    time.sleep(config.backoff_s * (2 ** (attempts - 1)))
+                    continue
+                results[i] = TaskResult(i, spec.label, error=error,
+                                        attempts=attempts,
+                                        wall_s=time.monotonic() - start)
+                tel.task_failed(i, spec.label, error, attempts)
+                break
+            wall = time.monotonic() - start
+            results[i] = TaskResult(i, spec.label, value=value,
+                                    attempts=attempts, wall_s=wall)
+            _store(cache, keys, i, spec, value, wall)
+            tel.task_done(i, spec.label, wall)
+            break
+
+
+def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
+    """Run ``indices`` on a process pool; returns indices left for serial."""
+    try:
+        pool = futures.ProcessPoolExecutor(max_workers=config.parallel,
+                                           initializer=_worker_init)
+    except (OSError, ValueError) as exc:
+        tel.degraded(f"cannot start process pool: {exc}")
+        return indices
+
+    attempts = {i: 0 for i in indices}
+    inflight: Dict[futures.Future, tuple] = {}  # future -> (index, t_submit)
+    leftovers: List[int] = []
+
+    def submit(i: int) -> None:
+        attempts[i] += 1
+        tel.task_started(i, specs[i].label, attempts[i])
+        fut = pool.submit(_call, specs[i])
+        inflight[fut] = (i, time.monotonic())
+
+    def record_failure(i: int, error: str, retryable: bool = True) -> None:
+        if retryable and attempts[i] <= config.retries:
+            tel.task_retry(i, specs[i].label, attempts[i], error)
+            time.sleep(config.backoff_s * (2 ** (attempts[i] - 1)))
+            submit(i)
+        else:
+            results[i] = TaskResult(i, specs[i].label, error=error,
+                                    attempts=attempts[i])
+            tel.task_failed(i, specs[i].label, error, attempts[i])
+
+    try:
+        for i in indices:
+            submit(i)
+        while inflight:
+            done, _ = futures.wait(set(inflight), timeout=0.1,
+                                   return_when=futures.FIRST_COMPLETED)
+            now = time.monotonic()
+            if config.task_timeout_s is not None:
+                for fut, (i, t_submit) in list(inflight.items()):
+                    if fut in done or now - t_submit <= config.task_timeout_s:
+                        continue
+                    fut.cancel()  # abandon result even if already running
+                    inflight.pop(fut)
+                    record_failure(
+                        i, f"timeout after {config.task_timeout_s:g}s")
+            for fut in done:
+                if fut not in inflight:
+                    continue
+                i, t_submit = inflight.pop(fut)
+                try:
+                    value = fut.result()
+                except BrokenProcessPool as exc:
+                    tel.degraded(f"worker pool broke: {exc}")
+                    leftovers = [j for j in attempts if results[j] is None]
+                    inflight.clear()
+                    break
+                except futures.CancelledError:
+                    continue  # handled by the timeout branch above
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    if _is_pickling_error(exc):
+                        # The pool can never run this task; hand it to the
+                        # serial path instead of burning retries.
+                        tel.degraded(
+                            f"task#{i} {specs[i].label} not picklable")
+                        leftovers.append(i)
+                    else:
+                        record_failure(i, error)
+                    continue
+                wall = now - t_submit
+                results[i] = TaskResult(i, specs[i].label, value=value,
+                                        attempts=attempts[i], wall_s=wall)
+                _store(cache, keys, i, specs[i], value, wall)
+                tel.task_done(i, specs[i].label, wall)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return leftovers

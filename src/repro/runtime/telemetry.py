@@ -1,0 +1,165 @@
+"""Structured progress for sweeps: JSONL events + a live stderr ticker.
+
+Every scheduler state change (queued, started, done, failed, retry, cache
+hit) increments counters and, when a telemetry path is configured, appends
+one JSON object per line — a format tail-able during a long sweep and
+trivially loadable afterwards (``[json.loads(l) for l in open(p)]``).
+
+The ticker rewrites a single stderr line (``\\r``) while tasks run and is
+enabled only on a tty (or when forced), so pytest/CI logs stay clean.  The
+one-line summary at the end — task counts, failures, cache hit rate, wall
+time — prints whenever the ticker is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import threading
+import time
+from typing import Optional
+
+
+class Telemetry:
+    """Counters + JSONL sink + ticker for one ``run_tasks`` invocation."""
+
+    def __init__(
+        self,
+        sweep: str = "sweep",
+        total: int = 0,
+        jsonl_path: Optional[pathlib.Path] = None,
+        progress: Optional[bool] = None,
+        stream=None,
+    ):
+        self.sweep = sweep
+        self.total = total
+        self.jsonl_path = pathlib.Path(jsonl_path) if jsonl_path else None
+        self.stream = stream if stream is not None else sys.stderr
+        if progress is None:
+            progress = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.progress = progress
+        self._lock = threading.Lock()
+        self._start = time.monotonic()
+        self._ticker_live = False
+        self.counts = {
+            "queued": 0, "running": 0, "done": 0, "failed": 0,
+            "retries": 0, "cache_hits": 0, "cache_misses": 0,
+        }
+        self.task_wall_s: dict = {}
+
+    # -- event plumbing -----------------------------------------------------
+
+    def emit(self, event: str, **fields) -> None:
+        if self.jsonl_path is not None:
+            record = {"t": round(time.time(), 6), "sweep": self.sweep,
+                      "event": event, **fields}
+            with self._lock:
+                self.jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+                with self.jsonl_path.open("a") as fh:
+                    fh.write(json.dumps(record, default=str) + "\n")
+
+    def task_queued(self, index: int, label: str) -> None:
+        with self._lock:
+            self.counts["queued"] += 1
+        self.emit("task_queued", index=index, label=label)
+
+    def task_started(self, index: int, label: str, attempt: int) -> None:
+        with self._lock:
+            self.counts["running"] += 1
+        self.emit("task_started", index=index, label=label, attempt=attempt)
+        self.tick()
+
+    def task_done(self, index: int, label: str, wall_s: float,
+                  cached: bool = False) -> None:
+        with self._lock:
+            self.counts["running"] = max(0, self.counts["running"] - 1)
+            self.counts["done"] += 1
+            self.task_wall_s[index] = wall_s
+        self.emit("task_done", index=index, label=label,
+                  wall_s=round(wall_s, 6), cached=cached)
+        self.tick()
+
+    def task_failed(self, index: int, label: str, error: str,
+                    attempts: int) -> None:
+        with self._lock:
+            self.counts["running"] = max(0, self.counts["running"] - 1)
+            self.counts["failed"] += 1
+        self.emit("task_failed", index=index, label=label,
+                  error=error, attempts=attempts)
+        self.tick()
+
+    def task_retry(self, index: int, label: str, attempt: int,
+                   error: str) -> None:
+        with self._lock:
+            self.counts["running"] = max(0, self.counts["running"] - 1)
+            self.counts["retries"] += 1
+        self.emit("task_retry", index=index, label=label,
+                  attempt=attempt, error=error)
+
+    def cache_hit(self, index: int, label: str) -> None:
+        with self._lock:
+            self.counts["cache_hits"] += 1
+            self.counts["done"] += 1
+        self.emit("cache_hit", index=index, label=label)
+        self.tick()
+
+    def cache_miss(self, index: int, label: str) -> None:
+        with self._lock:
+            self.counts["cache_misses"] += 1
+        self.emit("cache_miss", index=index, label=label)
+
+    def degraded(self, reason: str) -> None:
+        self.emit("degraded_to_serial", reason=reason)
+        if self.progress:
+            self._write(f"\n[repro.runtime] degrading to serial: {reason}\n")
+
+    # -- rendering ----------------------------------------------------------
+
+    @property
+    def wall_s(self) -> float:
+        return time.monotonic() - self._start
+
+    def hit_rate(self) -> Optional[float]:
+        looked = self.counts["cache_hits"] + self.counts["cache_misses"]
+        return self.counts["cache_hits"] / looked if looked else None
+
+    def summary(self) -> dict:
+        return {"sweep": self.sweep, "total": self.total,
+                "wall_s": round(self.wall_s, 3),
+                "cache_hit_rate": self.hit_rate(), **self.counts}
+
+    def _write(self, text: str) -> None:
+        try:
+            self.stream.write(text)
+            self.stream.flush()
+        except (OSError, ValueError):  # closed stream: telemetry never raises
+            pass
+
+    def tick(self) -> None:
+        if not self.progress:
+            return
+        c = self.counts
+        line = (f"[{self.sweep}] {c['done']}/{self.total} done"
+                f" ({c['cache_hits']} cached), {c['running']} running,"
+                f" {c['failed']} failed, {self.wall_s:.1f}s")
+        with self._lock:
+            self._write("\r" + line.ljust(78))
+            self._ticker_live = True
+
+    def close(self) -> None:
+        """Emit the final summary (always to JSONL, to stderr if ticking)."""
+        summary = self.summary()
+        self.emit("sweep_done", **{k: v for k, v in summary.items()
+                                   if k != "sweep"})
+        if self.progress:
+            c = self.counts
+            rate = self.hit_rate()
+            rate_txt = f"{100 * rate:.0f}%" if rate is not None else "n/a"
+            with self._lock:
+                if self._ticker_live:
+                    self._write("\r" + " " * 78 + "\r")
+                self._write(
+                    f"[{self.sweep}] {c['done']}/{self.total} tasks done, "
+                    f"{c['failed']} failed, {c['retries']} retries, "
+                    f"cache hit rate {rate_txt}, {self.wall_s:.1f}s\n")

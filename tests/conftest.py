@@ -4,9 +4,18 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Simulator
+from repro import Simulator, runtime
 from repro.sim.units import GBPS, US
 from repro.topology import LinkSpec, dumbbell, single_switch
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_runtime(tmp_path_factory):
+    """Keep the suite hermetic: private result cache, serial, no ticker."""
+    runtime.configure(cache_dir=tmp_path_factory.mktemp("repro-cache"),
+                      parallel=0, progress=False)
+    yield
+    runtime.reset()
 
 
 @pytest.fixture

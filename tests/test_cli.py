@@ -57,3 +57,57 @@ class TestCli:
     def test_bad_set_syntax_errors(self):
         with pytest.raises(SystemExit):
             main(["run", "table1", "--set", "oops"])
+
+    def test_seed_override_plumbed(self, capsys):
+        assert main(["run", "fig14a", "--seed", "3",
+                     "--set", "samples=2000"]) == 0
+        seed3 = capsys.readouterr().out
+        assert main(["run", "fig14a", "--seed", "4",
+                     "--set", "samples=2000"]) == 0
+        seed4 = capsys.readouterr().out
+        assert seed3 != seed4  # the seed actually reached the experiment
+
+    def test_seed_ignored_for_analytic_experiment(self, capsys):
+        assert main(["run", "table1", "--seed", "5"]) == 0
+        err = capsys.readouterr().err
+        assert "ignoring --seed" in err
+
+    # A deliberately tiny fig15 sweep: one protocol, two flow counts.
+    FIG15_TINY = ["run", "fig15", "--set", "protocols=expresspass,",
+                  "--set", "flow_counts=2,3", "--set", "warmup_ps=2000000000",
+                  "--set", "measure_ps=2000000000"]
+
+    def test_parallel_run_matches_serial_and_caches(self, capsys, tmp_path):
+        from repro import runtime
+
+        with runtime.using(cache_dir=tmp_path):
+            assert main(self.FIG15_TINY + ["--json"]) == 0
+            serial = capsys.readouterr().out
+            assert main(self.FIG15_TINY + ["--json", "--parallel", "2"]) == 0
+            parallel = capsys.readouterr().out
+        assert serial == parallel          # bit-identical rows
+        assert len(list(tmp_path.glob("*.pkl"))) == 2  # one entry per task
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        from repro import runtime
+
+        with runtime.using(cache_dir=tmp_path):
+            assert main(self.FIG15_TINY + ["--no-cache"]) == 0
+        assert list(tmp_path.glob("*.pkl")) == []
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, capsys, tmp_path):
+        from repro import runtime
+        from repro.runtime import ResultCache, TaskSpec
+
+        with runtime.using(cache_dir=tmp_path):
+            cache = ResultCache(tmp_path)
+            cache.put(cache.key_for(TaskSpec(main, {})), {"rows": []})
+            assert main(["cache", "stats"]) == 0
+            out = capsys.readouterr().out
+            assert "entries:    1" in out and str(tmp_path) in out
+            assert main(["cache", "clear"]) == 0
+            assert "removed 1 entries" in capsys.readouterr().out
+            assert main(["cache", "stats"]) == 0
+            assert "entries:    0" in capsys.readouterr().out

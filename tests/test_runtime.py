@@ -1,0 +1,279 @@
+"""Tests for ``repro.runtime``: determinism, caching, and fault tolerance.
+
+The module-level functions below are the sweep tasks — they must live at
+module scope (not inside a test) so the process pool can pickle them by
+qualified name, exactly like the experiments' ``run_point`` functions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro import runtime
+from repro.experiments import fig15_flow_scalability
+from repro.experiments.runner import run_sweep
+from repro.runtime import (
+    ResultCache,
+    RuntimeConfig,
+    SweepError,
+    SweepPlan,
+    TaskSpec,
+    Telemetry,
+    run_tasks,
+    stable_repr,
+    task_id,
+)
+from repro.sim.units import MS
+
+
+def cube(x, seed=1):
+    return {"x": x, "cube": x ** 3, "seed": seed}
+
+
+def flaky_once(marker):
+    """Fails on the first call, succeeds after (state = a marker file)."""
+    path = pathlib.Path(marker)
+    if not path.exists():
+        path.write_text("attempted")
+        raise RuntimeError("transient failure")
+    return "recovered"
+
+
+def always_fails():
+    raise ValueError("permanently broken task")
+
+
+FIG15_KWARGS = dict(protocols=("expresspass",), flow_counts=(2, 3),
+                    warmup_ps=2 * MS, measure_ps=2 * MS)
+
+
+class TestStableRepr:
+    def test_dict_order_independent(self):
+        assert stable_repr({"a": 1, "b": 2}) == stable_repr({"b": 2, "a": 1})
+
+    def test_tuple_vs_list_distinct(self):
+        assert stable_repr((1, 2)) != stable_repr([1, 2])
+
+    def test_dataclass_fields(self):
+        from repro.core import ExpressPassParams
+
+        a = ExpressPassParams(w_init=0.25)
+        b = ExpressPassParams(w_init=0.25)
+        c = ExpressPassParams(w_init=0.125)
+        assert stable_repr(a) == stable_repr(b)
+        assert stable_repr(a) != stable_repr(c)
+        assert "ExpressPassParams" in stable_repr(a)
+
+    def test_callable_by_qualname(self):
+        assert "cube" in stable_repr(cube)
+
+    def test_task_id_includes_seed(self):
+        assert task_id(cube, {"x": 1, "seed": 7}) != task_id(
+            cube, {"x": 1, "seed": 8})
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(TaskSpec(cube, {"x": 2}))
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.put(key, {"rows": [1, 2]}, task="t", elapsed_s=0.5)
+        hit, value = cache.get(key)
+        assert hit and value == {"rows": [1, 2]}
+
+    def test_key_depends_on_kwargs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert (cache.key_for(TaskSpec(cube, {"x": 1}))
+                != cache.key_for(TaskSpec(cube, {"x": 2})))
+        assert (cache.key_for(TaskSpec(cube, {"x": 1}))
+                == cache.key_for(TaskSpec(cube, {"x": 1})))
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(TaskSpec(cube, {"x": 3}))
+        cache.put(key, "value")
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        hit, _ = cache.get(key)
+        assert not hit
+        assert not (tmp_path / f"{key}.pkl").exists()  # pruned
+
+    def test_unpicklable_value_not_stored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.put("k" * 64, lambda: None)
+
+    def test_entry_cap_evicts_lru(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        keys = [cache.key_for(TaskSpec(cube, {"x": i})) for i in range(5)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+            # Spread mtimes so LRU ordering is well-defined even on coarse
+            # filesystem timestamps.
+            entry = tmp_path / f"{key}.pkl"
+            import os
+            os.utime(entry, (1000 + i, 1000 + i))
+        cache.evict()
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert not cache.get(keys[0])[0]  # oldest gone
+        assert cache.get(keys[4])[0]      # newest kept
+
+    def test_size_cap_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=1)
+        key = cache.key_for(TaskSpec(cube, {"x": 9}))
+        cache.put(key, list(range(1000)))
+        assert cache.stats()["entries"] == 0
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(4):
+            cache.put(cache.key_for(TaskSpec(cube, {"x": i})), i)
+        assert cache.stats()["entries"] == 4
+        assert cache.clear() == 4
+        assert cache.stats()["entries"] == 0
+
+
+class TestConfig:
+    def test_from_env(self):
+        cfg = RuntimeConfig.from_env({"REPRO_PARALLEL": "4",
+                                      "REPRO_NO_CACHE": "1",
+                                      "REPRO_RETRIES": "0",
+                                      "REPRO_TASK_TIMEOUT": "2.5"})
+        assert cfg.parallel == 4
+        assert not cfg.cache_enabled
+        assert cfg.retries == 0
+        assert cfg.task_timeout_s == 2.5
+
+    def test_using_restores(self):
+        before = runtime.get_config()
+        with runtime.using(parallel=7):
+            assert runtime.get_config().parallel == 7
+        assert runtime.get_config().parallel == before.parallel
+
+
+class TestScheduler:
+    def test_results_in_grid_order(self, tmp_path):
+        plan = SweepPlan.from_grid(cube, [{"x": i} for i in range(6)])
+        with runtime.using(parallel=0, cache_dir=tmp_path):
+            results = run_tasks(plan)
+        assert [r.index for r in results] == list(range(6))
+        assert [r.value["cube"] for r in results] == [i ** 3 for i in range(6)]
+
+    def test_parallel_matches_serial(self, tmp_path):
+        plan = SweepPlan.from_grid(cube, [{"x": i} for i in range(6)])
+        with runtime.using(parallel=0, cache_dir=tmp_path / "serial"):
+            serial = run_tasks(plan)
+        with runtime.using(parallel=2, cache_dir=tmp_path / "par"):
+            parallel = run_tasks(plan)
+        assert [r.value for r in serial] == [r.value for r in parallel]
+        assert not any(r.cached for r in parallel)
+
+    def test_cached_rerun_hits_100_percent(self, tmp_path):
+        plan = SweepPlan.from_grid(cube, [{"x": i} for i in range(4)])
+        with runtime.using(parallel=0, cache_dir=tmp_path):
+            first = run_tasks(plan)
+            tel = Telemetry("rerun", len(plan), progress=False)
+            second = run_tasks(plan, telemetry=tel)
+        assert [r.value for r in first] == [r.value for r in second]
+        assert all(r.cached for r in second)
+        assert tel.hit_rate() == 1.0
+
+    def test_failing_task_is_retried_then_recovers(self, tmp_path):
+        marker = tmp_path / "marker"
+        with runtime.using(parallel=0, cache_enabled=False, retries=2,
+                           backoff_s=0.0):
+            results = run_tasks([TaskSpec(flaky_once,
+                                          {"marker": str(marker)})])
+        assert results[0].ok
+        assert results[0].value == "recovered"
+        assert results[0].attempts == 2
+
+    def test_permanent_failure_does_not_kill_sweep(self, tmp_path):
+        tasks = [TaskSpec(always_fails, {}, label="bad"),
+                 TaskSpec(cube, {"x": 5}, label="good")]
+        for workers in (0, 2):
+            with runtime.using(parallel=workers, cache_enabled=False,
+                               retries=1, backoff_s=0.0):
+                results = run_tasks(tasks)
+            bad, good = results
+            assert not bad.ok and "permanently broken" in bad.error
+            assert bad.attempts == 2  # initial try + 1 retry
+            assert good.ok and good.value["cube"] == 125
+
+    def test_unpicklable_task_degrades_to_serial(self):
+        with runtime.using(parallel=2, cache_enabled=False):
+            results = run_tasks([TaskSpec(lambda: "inline", {}, "lambda")])
+        assert results[0].ok
+        assert results[0].value == "inline"
+
+    def test_telemetry_jsonl(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with runtime.using(parallel=0, cache_dir=tmp_path / "cache",
+                           telemetry_path=log):
+            run_tasks(SweepPlan.from_grid(cube, [{"x": 1}, {"x": 2}]))
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("task_done") == 2
+        assert kinds[-1] == "sweep_done"
+        summary = events[-1]
+        assert summary["done"] == 2 and summary["failed"] == 0
+
+
+class TestRunSweep:
+    def test_all_tasks_failing_raises(self):
+        with runtime.using(parallel=0, cache_enabled=False, retries=0):
+            with pytest.raises(SweepError) as info:
+                run_sweep(always_fails, [{}, {}])
+        assert len(info.value.failures) == 2
+
+    def test_partial_failure_drops_row(self, tmp_path):
+        marker = tmp_path / "m"
+        with runtime.using(parallel=0, cache_enabled=False, retries=0):
+            rows = run_sweep(flaky_once,
+                             [{"marker": str(marker)},
+                              {"marker": str(marker)}])
+        assert rows == ["recovered"]  # first attempt failed, no retries
+
+    def test_strict_raises_on_any_failure(self, tmp_path):
+        marker = tmp_path / "m"
+        with runtime.using(parallel=0, cache_enabled=False, retries=0):
+            with pytest.raises(SweepError):
+                run_sweep(flaky_once,
+                          [{"marker": str(marker)},
+                           {"marker": str(marker)}], strict=True)
+
+
+class TestExperimentDeterminism:
+    """The acceptance criterion: serial == parallel == cached, bit-identical."""
+
+    def test_fig15_serial_parallel_cached_identical(self, tmp_path):
+        with runtime.using(parallel=0, cache_dir=tmp_path / "serial"):
+            serial = fig15_flow_scalability.run(**FIG15_KWARGS)
+        with runtime.using(parallel=2, cache_dir=tmp_path / "par"):
+            parallel = fig15_flow_scalability.run(**FIG15_KWARGS)
+        assert serial.rows == parallel.rows
+        # Bit-identical, not merely approximately equal: json renders every
+        # float with its exact shortest repr, so equal strings means equal
+        # bit patterns.  (pickle bytes can differ in memo framing even for
+        # equal values, so they are not a valid identity probe.)
+        assert (json.dumps(serial.rows, sort_keys=True)
+                == json.dumps(parallel.rows, sort_keys=True))
+        # Warm rerun out of the parallel run's cache.
+        with runtime.using(parallel=0, cache_dir=tmp_path / "par"):
+            cached = fig15_flow_scalability.run(**FIG15_KWARGS)
+        assert cached.rows == serial.rows
+
+    def test_summary_runs_through_runtime(self, tmp_path):
+        from repro.experiments import summary
+
+        with runtime.using(parallel=0, cache_dir=tmp_path):
+            result = summary.run(seed=1)
+        assert result.meta["all_ok"]
+        # Second run: every simulation-backed check comes from the cache
+        # and the verdicts are unchanged.
+        with runtime.using(parallel=0, cache_dir=tmp_path):
+            again = summary.run(seed=1)
+        assert again.rows == result.rows
