@@ -1,0 +1,129 @@
+"""repro.audit — runtime verification for every simulation run.
+
+Two ways in:
+
+*Explicit* — construct a :class:`NetworkAuditor`, attach networks, read the
+:class:`AuditReport`::
+
+    auditor = NetworkAuditor(sim, buffer_bound_bytes=bound)
+    auditor.attach_network(topo.net)
+    ...build flows, run...
+    report = auditor.finalize()
+    assert report.ok, report.format()
+
+*Ambient* — activate auditing for a region of code (or set ``REPRO_AUDIT=1``
+for a whole process); every :meth:`Network.finalize` inside it then attaches
+an auditor automatically, and :func:`capture` collects the merged verdict::
+
+    with audit.capture() as cap:
+        run_experiment()
+    print(audit.format_summary(cap.summary))
+
+The ambient path is what ``repro.cli --audit`` and the
+:mod:`repro.runtime` scheduler use: each sweep task runs inside a capture
+(in its worker process, if parallel) and its summary dict travels back on
+the :class:`~repro.runtime.scheduler.TaskResult`.
+
+Captures nest like a stack: an inner capture removes its auditors from the
+outer capture's view, so a CLI-level capture around a sweep does not double
+count the per-task summaries the scheduler already collected.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from repro.audit.auditor import NetworkAuditor
+from repro.audit.report import (
+    AuditReport,
+    Violation,
+    empty_summary,
+    format_summary,
+    merge_summaries,
+)
+
+__all__ = [
+    "AuditReport", "NetworkAuditor", "Violation",
+    "begin_capture", "capture", "end_capture", "is_active", "maybe_attach",
+    "empty_summary", "format_summary", "merge_summaries",
+    "record_task_summary", "reset_session", "session_summary",
+]
+
+_capture_depth = 0
+_captured: List[NetworkAuditor] = []
+#: (label, summary) pairs recorded by the sweep scheduler for CLI reporting.
+_session: List[Tuple[str, dict]] = []
+
+
+def is_active() -> bool:
+    """True when auditors should attach: inside a capture or REPRO_AUDIT=1."""
+    if _capture_depth > 0:
+        return True
+    return os.environ.get("REPRO_AUDIT", "") in ("1", "true")
+
+
+def maybe_attach(net) -> Optional[NetworkAuditor]:
+    """Attach an auditor to ``net`` if auditing is active (else no-op).
+
+    Called by :meth:`repro.topology.network.Network.finalize`.  Reuses the
+    simulator's existing auditor so multi-network simulations share one
+    report.  Auditors are only retained for collection while a capture is
+    open; under plain ``REPRO_AUDIT=1`` the auditor lives on ``sim.auditor``
+    and nothing global accumulates.
+    """
+    if not is_active():
+        return None
+    auditor = getattr(net.sim, "auditor", None)
+    if auditor is None:
+        auditor = NetworkAuditor(net.sim)
+        if _capture_depth > 0:
+            _captured.append(auditor)
+    auditor.attach_network(net)
+    return auditor
+
+
+def begin_capture() -> int:
+    """Open a capture scope; returns a marker for :func:`end_capture`."""
+    global _capture_depth
+    _capture_depth += 1
+    return len(_captured)
+
+
+def end_capture(marker: int) -> dict:
+    """Close a scope: finalize its auditors, return their merged summary."""
+    global _capture_depth
+    scoped = _captured[marker:]
+    del _captured[marker:]
+    _capture_depth = max(0, _capture_depth - 1)
+    return merge_summaries([a.finalize().summary() for a in scoped])
+
+
+class capture:
+    """Context manager over begin/end_capture; ``.summary`` after exit."""
+
+    summary: Optional[dict] = None
+
+    def __enter__(self) -> "capture":
+        self._marker = begin_capture()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.summary = end_capture(self._marker)
+        return False
+
+
+# -- session aggregation (scheduler -> CLI) ---------------------------------
+
+def record_task_summary(label: str, summary: dict) -> None:
+    """Scheduler hook: bank one task's audit summary for session reporting."""
+    _session.append((label, summary))
+
+
+def session_summary() -> dict:
+    """Merged verdict over every task summary banked since the last reset."""
+    return merge_summaries([s for _, s in _session])
+
+
+def reset_session() -> None:
+    _session.clear()

@@ -1,0 +1,92 @@
+"""Golden-trace regression: canonical scenarios, digested and diffed.
+
+A golden trace is a JSON fixture capturing, for each traced port of a
+canonical small scenario, a SHA-256 digest over every
+:class:`~repro.net.trace.TraceRecord` the port emitted, plus head/tail
+excerpts for humans.  The engine, ports, queues, and transports are all
+deterministic per seed, so any behavioral drift anywhere under a scenario's
+footprint — event ordering, a queue discipline tweak, a pacing change —
+flips a digest and fails the suite loudly, with the excerpt showing where
+the streams diverge.
+
+Regenerate after an *intentional* behavior change with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_traces.py -q
+
+then review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Dict, List, Sequence
+
+#: Formatted records kept verbatim in the fixture for human diffing.
+EXCERPT_LINES = 5
+
+
+def trace_lines(records: Sequence) -> List[str]:
+    """Canonical one-line-per-packet rendering of TraceRecords."""
+    return [f"{r.time_ps} {r.kind} {r.src}->{r.dst} "
+            f"seq={r.seq} cseq={r.credit_seq} {r.wire_bytes}B"
+            for r in records]
+
+
+def trace_digest(records: Sequence) -> str:
+    payload = "\n".join(trace_lines(records)).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def golden_payload(name: str, port_records: Dict[str, Sequence]) -> dict:
+    """Digest a scenario's per-port traces into a JSON-able fixture body."""
+    ports = {}
+    for port_name in sorted(port_records):
+        records = port_records[port_name]
+        lines = trace_lines(records)
+        ports[port_name] = {
+            "packets": len(records),
+            "digest": trace_digest(records),
+            "head": lines[:EXCERPT_LINES],
+            "tail": lines[-EXCERPT_LINES:] if len(lines) > EXCERPT_LINES else [],
+        }
+    return {
+        "name": name,
+        "total_packets": sum(p["packets"] for p in ports.values()),
+        "ports": ports,
+    }
+
+
+def write_golden(path: pathlib.Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_golden(path: pathlib.Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def diff_golden(expected: dict, actual: dict) -> List[str]:
+    """Human-readable mismatches between two payloads; empty == identical."""
+    diffs: List[str] = []
+    exp_ports = expected.get("ports", {})
+    act_ports = actual.get("ports", {})
+    for port_name in sorted(set(exp_ports) | set(act_ports)):
+        exp = exp_ports.get(port_name)
+        act = act_ports.get(port_name)
+        if exp is None:
+            diffs.append(f"{port_name}: traced now but absent from golden")
+            continue
+        if act is None:
+            diffs.append(f"{port_name}: in golden but not traced now")
+            continue
+        if exp["digest"] == act["digest"]:
+            continue
+        diffs.append(
+            f"{port_name}: trace drifted "
+            f"({exp['packets']} -> {act['packets']} packets)")
+        for label, side in (("golden", exp), ("actual", act)):
+            for line in side.get("head", []):
+                diffs.append(f"    {label}: {line}")
+    return diffs

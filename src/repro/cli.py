@@ -134,6 +134,12 @@ def main(argv=None) -> int:
                       help="best-effort per-task timeout in seconds")
     runp.add_argument("--telemetry", default=None, metavar="FILE",
                       help="append sweep events as JSONL to FILE")
+    runp.add_argument("--audit", action="store_true",
+                      help="run under the runtime verifier (repro.audit): "
+                           "check clock monotonicity, credit rate bounds, "
+                           "buffer occupancy, conservation, and path "
+                           "symmetry in every simulation; exit 1 on any "
+                           "violation")
     cachep = sub.add_parser(
         "cache", help="inspect or clear the experiment result cache")
     cachep.add_argument("action", choices=("stats", "clear"))
@@ -195,14 +201,35 @@ def main(argv=None) -> int:
         config_overrides["task_timeout_s"] = args.timeout
     if args.telemetry:
         config_overrides["telemetry_path"] = pathlib.Path(args.telemetry)
+    if args.audit:
+        config_overrides["audit"] = True
 
-    with runtime.using(**config_overrides):
-        result = fn(**overrides)
+    audit_verdict = None
+    if args.audit:
+        # The outer capture covers simulations the experiment runs directly
+        # in this process; sweep tasks are captured individually by the
+        # scheduler (in their worker processes when parallel) and banked on
+        # the session, so the two sources never double count.
+        from repro import audit
+        audit.reset_session()
+        with runtime.using(**config_overrides):
+            with audit.capture() as cap:
+                result = fn(**overrides)
+        audit_verdict = audit.merge_summaries(
+            [cap.summary, audit.session_summary()])
+    else:
+        with runtime.using(**config_overrides):
+            result = fn(**overrides)
     if args.json:
         print(json.dumps({"name": result.name, "rows": result.rows,
                           "meta": result.meta}, indent=2, default=str))
     else:
         print(format_table(result))
+    if audit_verdict is not None:
+        from repro.audit import format_summary
+        print(format_summary(audit_verdict), file=sys.stderr)
+        if not audit_verdict["ok"]:
+            return 1
     return 0
 
 

@@ -51,7 +51,7 @@ class Port:
         "sim", "node", "peer", "rate_bps", "prop_delay_ps",
         "data_queue", "credit_queue", "credit_bucket",
         "lowprio_queue",
-        "phantom", "rcp_controller", "on_transmit",
+        "phantom", "rcp_controller", "on_transmit", "on_enqueue",
         "pfc", "pfc_paused", "up", "drop_filter",
         "stats", "_busy", "_wake_event",
     )
@@ -84,6 +84,10 @@ class Port:
         #: Optional hook called with each packet as it hits the wire
         #: (used by :class:`repro.net.trace.PortTracer`).
         self.on_transmit = None
+        #: Optional hook called as ``on_enqueue(pkt, accepted)`` after each
+        #: enqueue decision (used by :class:`repro.audit.NetworkAuditor` to
+        #: bound queue occupancy).  Installers must chain any prior hook.
+        self.on_enqueue = None
         #: Priority flow control (802.1Qbb analog): ``pfc`` is the installed
         #: controller watching this port's data queue; ``pfc_paused`` is set
         #: by the *peer* to stop our data (credits/control keep flowing, as
@@ -142,6 +146,8 @@ class Port:
                 pkt.flow.on_data_dropped(pkt, self)
             if ok and self.pfc is not None:
                 self.pfc.on_queue_change(self)
+        if self.on_enqueue is not None:
+            self.on_enqueue(pkt, ok)
         if ok:
             self._try_send()
         return ok

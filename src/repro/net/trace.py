@@ -10,7 +10,10 @@ analog that tests and notebooks can assert against or dump as text::
     print(tracer.format())
 
 Tracing costs one extra function call per packet on the traced port only;
-untraced ports are unaffected.
+untraced ports are unaffected.  Tracers *compose*: tracing a port that
+already has a transmit hook (another tracer, an audit observer) chains the
+existing hook rather than replacing it, and :meth:`PortTracer.detach`
+restores it.
 """
 
 from __future__ import annotations
@@ -48,11 +51,19 @@ class PortTracer:
         self.keep = keep
         self.predicate = predicate
         self.records: List[TraceRecord] = []
-        if port.on_transmit is not None:
-            raise RuntimeError(f"{port.name} already has a transmit hook")
-        port.on_transmit = self._record
+        self._active = True
+        # Chain rather than replace: any hook already on the port (another
+        # tracer, an audit probe) still sees every packet.  The bound method
+        # is pinned so detach() can compare identity.
+        self._prev = port.on_transmit
+        self._hook = self._record
+        port.on_transmit = self._hook
 
     def _record(self, pkt: Packet) -> None:
+        if self._prev is not None:
+            self._prev(pkt)
+        if not self._active:
+            return
         if self.predicate is None or self.predicate(pkt):
             self.records.append(TraceRecord(
                 time_ps=self.port.sim.now,
@@ -67,8 +78,15 @@ class PortTracer:
                 del self.records[0]
 
     def detach(self) -> None:
-        """Stop tracing and restore the port."""
-        self.port.on_transmit = None
+        """Stop recording and unchain, restoring any wrapped hook.
+
+        If another hook was installed on top of this tracer after it
+        attached, the chain cannot be unlinked in place; recording simply
+        stops while the chain keeps forwarding.
+        """
+        self._active = False
+        if self.port.on_transmit is self._hook:
+            self.port.on_transmit = self._prev
 
     def count(self, kind: Optional[str] = None) -> int:
         if kind is None:

@@ -20,6 +20,9 @@ Environment variables (all optional) seed the defaults:
 ``REPRO_PROGRESS``          "1" forces the stderr ticker on, "0" forces it off
 ``REPRO_CACHE_MAX_BYTES``   cache size cap before LRU eviction (default 512 MiB)
 ``REPRO_CACHE_MAX_ENTRIES`` cache entry cap before LRU eviction (default 4096)
+``REPRO_AUDIT``             "1" runs every sweep task under the runtime
+                            verifier (:mod:`repro.audit`); task results then
+                            carry per-run audit summaries
 ==========================  =====================================================
 """
 
@@ -64,6 +67,9 @@ class RuntimeConfig:
     progress: Optional[bool] = None
     max_cache_bytes: int = 512 * 1024 * 1024
     max_cache_entries: int = 4096
+    #: Run every task under :mod:`repro.audit` (observation-only invariant
+    #: checking); audit summaries ride on the TaskResults.
+    audit: bool = False
 
     @classmethod
     def from_env(cls, environ=None) -> "RuntimeConfig":
@@ -90,6 +96,7 @@ class RuntimeConfig:
                       else progress in ("1", "true")),
             max_cache_bytes=_int("REPRO_CACHE_MAX_BYTES", 512 * 1024 * 1024),
             max_cache_entries=_int("REPRO_CACHE_MAX_ENTRIES", 4096),
+            audit=env.get("REPRO_AUDIT", "") in ("1", "true"),
         )
 
     def resolved_cache_dir(self) -> pathlib.Path:

@@ -47,6 +47,9 @@ class TaskResult:
     attempts: int = 0
     cached: bool = False
     wall_s: float = 0.0
+    #: Per-task audit summary dict when the run executed under
+    #: ``RuntimeConfig.audit``; ``None`` for unaudited or cache-served tasks.
+    audit: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -63,9 +66,20 @@ class SweepError(RuntimeError):
         super().__init__(f"{len(self.failures)} sweep task(s) failed: {detail}")
 
 
-def _call(spec: TaskSpec) -> Any:
-    """Worker entry point (module-level so it pickles)."""
-    return spec.call()
+def _call(spec: TaskSpec, audit_enabled: bool = False) -> tuple:
+    """Worker entry point (module-level so it pickles).
+
+    Returns ``(value, audit_summary)``; the summary is ``None`` unless the
+    task ran inside an audit capture (``RuntimeConfig.audit``).  Capturing
+    happens *here*, in whichever process executes the task, so parallel
+    workers audit their own simulations and ship plain-dict verdicts back.
+    """
+    if not audit_enabled:
+        return spec.call(), None
+    from repro import audit
+    with audit.capture() as cap:
+        value = spec.call()
+    return value, cap.summary
 
 
 def _worker_init() -> None:
@@ -73,6 +87,13 @@ def _worker_init() -> None:
     from repro.runtime import config as _config
 
     _config.configure(parallel=0, progress=False)
+
+
+def _bank_audit(label: str, summary: Optional[dict]) -> None:
+    """Feed a task's audit verdict to the session aggregate (CLI report)."""
+    if summary is not None:
+        from repro import audit
+        audit.record_task_summary(label, summary)
 
 
 def _is_pickling_error(exc: BaseException) -> bool:
@@ -144,7 +165,7 @@ def _run_serial(specs, indices, results, config, tel, cache, keys) -> None:
             tel.task_started(i, spec.label, attempts)
             start = time.monotonic()
             try:
-                value = spec.call()
+                value, audit_summary = _call(spec, config.audit)
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 if attempts <= config.retries:
@@ -158,7 +179,9 @@ def _run_serial(specs, indices, results, config, tel, cache, keys) -> None:
                 break
             wall = time.monotonic() - start
             results[i] = TaskResult(i, spec.label, value=value,
-                                    attempts=attempts, wall_s=wall)
+                                    attempts=attempts, wall_s=wall,
+                                    audit=audit_summary)
+            _bank_audit(spec.label, audit_summary)
             _store(cache, keys, i, spec, value, wall)
             tel.task_done(i, spec.label, wall)
             break
@@ -180,7 +203,7 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
     def submit(i: int) -> None:
         attempts[i] += 1
         tel.task_started(i, specs[i].label, attempts[i])
-        fut = pool.submit(_call, specs[i])
+        fut = pool.submit(_call, specs[i], config.audit)
         inflight[fut] = (i, time.monotonic())
 
     def record_failure(i: int, error: str, retryable: bool = True) -> None:
@@ -213,7 +236,7 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                     continue
                 i, t_submit = inflight.pop(fut)
                 try:
-                    value = fut.result()
+                    value, audit_summary = fut.result()
                 except BrokenProcessPool as exc:
                     tel.degraded(f"worker pool broke: {exc}")
                     leftovers = [j for j in attempts if results[j] is None]
@@ -234,7 +257,9 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                     continue
                 wall = now - t_submit
                 results[i] = TaskResult(i, specs[i].label, value=value,
-                                        attempts=attempts[i], wall_s=wall)
+                                        attempts=attempts[i], wall_s=wall,
+                                        audit=audit_summary)
+                _bank_audit(specs[i].label, audit_summary)
                 _store(cache, keys, i, specs[i], value, wall)
                 tel.task_done(i, specs[i].label, wall)
     finally:

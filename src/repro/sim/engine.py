@@ -57,6 +57,9 @@ class Simulator:
         self.events_processed: int = 0
         self._flow_counter = 0
         self._port_counter = 10_000
+        #: Optional :class:`repro.audit.NetworkAuditor`; installed by the
+        #: auditor itself, consulted by the run loop and by flows.
+        self.auditor = None
 
     def next_flow_id(self) -> int:
         """Allocate a flow id (per-simulator, so runs are reproducible)."""
@@ -114,6 +117,8 @@ class Simulator:
             if event.cancelled:
                 continue
             self.now = time
+            if self.auditor is not None:
+                self.auditor.on_event(time)
             event.fn(*event.args)
             processed += 1
             if max_events is not None and processed >= max_events:

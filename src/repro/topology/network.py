@@ -88,9 +88,16 @@ class Network:
         return ab, ba
 
     def finalize(self) -> None:
-        """Build routing tables.  Call after all links are in place."""
+        """Build routing tables.  Call after all links are in place.
+
+        If runtime auditing is active (``REPRO_AUDIT=1``, ``--audit``, or an
+        open :func:`repro.audit.capture` scope), this also attaches the
+        invariant observers to every port — a no-op otherwise.
+        """
         build_ecmp_tables(self.nodes, [h.id for h in self.hosts])
         self._finalized = True
+        from repro.audit import maybe_attach
+        maybe_attach(self)
 
     # -- link failures (§3.1: "exclude links that fail unidirectionally") ----
     def fail_link(self, a, b, direction: str = "both") -> None:

@@ -71,6 +71,9 @@ class Flow:
         self._started = False
         self._start_evt = self.sim.schedule_at(max(start_ps, self.sim.now),
                                                self._start_event)
+        auditor = getattr(self.sim, "auditor", None)
+        if auditor is not None:
+            auditor.register_flow(self)
 
     # -- identity -----------------------------------------------------------
     def path_hash(self, pkt: Packet) -> int:

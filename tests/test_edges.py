@@ -108,12 +108,17 @@ class TestErrorPaths:
         with pytest.raises(ValueError):
             ExpressPassFlow(topo.senders[0], topo.receivers[0], 0)
 
-    def test_tracer_double_attach_rejected(self):
+    def test_tracer_double_attach_chains(self):
+        # Tracers compose: a second tracer on the same port chains the
+        # first instead of rejecting or silently replacing it.
         sim = Simulator(seed=1)
         topo = small_dumbbell(sim)
-        PortTracer(topo.bottleneck_fwd)
-        with pytest.raises(RuntimeError):
-            PortTracer(topo.bottleneck_fwd)
+        first = PortTracer(topo.bottleneck_fwd)
+        second = PortTracer(topo.bottleneck_fwd)
+        ExpressPassFlow(topo.senders[0], topo.receivers[0], 5_000)
+        sim.run(until=1_000_000_000_000)
+        assert first.records
+        assert first.records == second.records
 
 
 class TestEngineInterplay:

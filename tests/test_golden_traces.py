@@ -1,0 +1,143 @@
+"""Golden-trace regression suite: canonical scenarios vs stored digests.
+
+Each scenario runs a small deterministic simulation with PortTracers on its
+interesting ports and digests every transmit record
+(:mod:`repro.audit.golden`).  The digests live in ``tests/golden/*.json``;
+any drift in the engine, queues, ports, routing, or transports under these
+scenarios' footprints fails here with a per-port diff.
+
+Intentional behavior changes regenerate the fixtures::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_traces.py -q
+
+Determinism is asserted two ways: rerunning a scenario in-process yields an
+identical payload, and running the scenarios through the
+:mod:`repro.runtime` scheduler produces the same payloads serial, parallel,
+and as reassembled by a 2-worker pool.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro import ExpressPassFlow, ExpressPassParams, runtime
+from repro.audit.golden import (
+    diff_golden,
+    golden_payload,
+    load_golden,
+    trace_digest,
+    write_golden,
+)
+from repro.net.trace import PortTracer
+from repro.runtime import run_tasks
+from repro.runtime.task import TaskSpec
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, SEC, US
+from repro.topology.network import LinkSpec
+from repro.topology.simple import dumbbell, single_switch
+from repro.transport import DctcpFlow, dctcp_marking_threshold_bytes
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+EP = dict(params=ExpressPassParams(rtt_hint_ps=40 * US))
+
+
+def _scenario_dumbbell_expresspass():
+    """Two staggered ExpressPass flows over a shared bottleneck."""
+    sim = Simulator(seed=7)
+    topo = dumbbell(sim, n_pairs=2)
+    tracers = {
+        "L->R": PortTracer(topo.bottleneck_fwd),
+        "R->L": PortTracer(topo.bottleneck_rev),
+    }
+    ExpressPassFlow(topo.senders[0], topo.receivers[0],
+                    size_bytes=30_000, **EP)
+    ExpressPassFlow(topo.senders[1], topo.receivers[1],
+                    size_bytes=20_000, start_ps=500 * US, **EP)
+    sim.run(until=1 * SEC)
+    return tracers
+
+
+def _scenario_star_cross_expresspass():
+    """Cross traffic on one ToR: three flows, four traced egress ports."""
+    sim = Simulator(seed=21)
+    star = single_switch(sim, n_hosts=4)
+    tracers = {
+        f"tor->h{i}": PortTracer(star.net.port_between(star.switch, host))
+        for i, host in enumerate(star.hosts)
+    }
+    ExpressPassFlow(star.hosts[0], star.hosts[2], size_bytes=40_000, **EP)
+    ExpressPassFlow(star.hosts[1], star.hosts[3], size_bytes=25_000,
+                    start_ps=200 * US, **EP)
+    ExpressPassFlow(star.hosts[3], star.hosts[0], size_bytes=10_000,
+                    start_ps=400 * US, **EP)
+    sim.run(until=1 * SEC)
+    return tracers
+
+
+def _scenario_dumbbell_dctcp():
+    """Two DCTCP flows: exercises WindowFlow, ECN marking, ACK clocking."""
+    sim = Simulator(seed=13)
+    spec = LinkSpec(
+        ecn_threshold_bytes=dctcp_marking_threshold_bytes(10 * GBPS))
+    topo = dumbbell(sim, n_pairs=2, bottleneck=spec, edge=spec)
+    tracers = {"L->R": PortTracer(topo.bottleneck_fwd)}
+    DctcpFlow(topo.senders[0], topo.receivers[0], size_bytes=150_000)
+    DctcpFlow(topo.senders[1], topo.receivers[1], size_bytes=100_000,
+              start_ps=300 * US)
+    sim.run(until=1 * SEC)
+    return tracers
+
+
+SCENARIOS = {
+    "dumbbell_expresspass": _scenario_dumbbell_expresspass,
+    "star_cross_expresspass": _scenario_star_cross_expresspass,
+    "dumbbell_dctcp": _scenario_dumbbell_dctcp,
+}
+
+
+def build_payload(name: str) -> dict:
+    """Module-level so the parallel determinism test can pickle it."""
+    tracers = SCENARIOS[name]()
+    return golden_payload(name, {port: t.records
+                                 for port, t in tracers.items()})
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace(name):
+    payload = build_payload(name)
+    assert payload["total_packets"] > 0
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        write_golden(path, payload)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; run with REPRO_REGEN_GOLDEN=1")
+    diffs = diff_golden(load_golden(path), payload)
+    assert not diffs, "golden trace drift:\n" + "\n".join(diffs)
+
+
+def test_rerun_is_bit_identical():
+    assert build_payload("dumbbell_expresspass") == \
+        build_payload("dumbbell_expresspass")
+
+
+def test_identical_across_runtime_parallel_settings():
+    """The traced scenarios digest identically serial, parallel, and warm."""
+    specs = [TaskSpec(fn=build_payload, kwargs={"name": name}, label=name)
+             for name in sorted(SCENARIOS)]
+    payloads = {}
+    for mode, workers in (("serial", 0), ("parallel", 2)):
+        with runtime.using(parallel=workers, cache_enabled=False,
+                           progress=False, retries=0):
+            results = run_tasks(list(specs), name=f"golden-{mode}")
+        assert all(r.ok for r in results), [r.error for r in results]
+        payloads[mode] = [r.value for r in results]
+    assert payloads["serial"] == payloads["parallel"]
+
+
+def test_digest_is_order_sensitive():
+    """The digest must notice reordering, not just content changes."""
+    tracers = _scenario_dumbbell_expresspass()
+    records = list(tracers["L->R"].records)
+    assert trace_digest(records) != trace_digest(records[::-1])

@@ -3,17 +3,25 @@
 These sample random (small) scenarios and check the claims the paper makes
 unconditionally: credit-scheduled data never overflows sized buffers, every
 sized flow completes exactly, determinism per seed, and the credit meter is
-never exceeded on any link.
+never exceeded on any link — on a single switch and on multi-switch
+topologies (dumbbell, fat tree) with background load, with the
+:mod:`repro.audit` runtime verifier attached as a second, independent
+checker.
 """
+
+import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.audit import NetworkAuditor
 from repro.core import ExpressPassFlow, ExpressPassParams
 from repro.net.packet import CREDIT_RATE_FRACTION_DEN, CREDIT_RATE_FRACTION_NUM
 from repro.sim.engine import Simulator
 from repro.sim.units import GBPS, MS, SEC, US
-from repro.topology import LinkSpec, single_switch
+from repro.topology import LinkSpec, dumbbell, fat_tree, single_switch
+
+pytestmark = pytest.mark.slow  # hypothesis suites dominate tier-1 runtime
 
 PARAMS = ExpressPassParams(rtt_hint_ps=40 * US)
 
@@ -95,4 +103,91 @@ def test_data_queue_bounded_by_calculus_style_envelope(params_dict):
     sim, topo, flows = build(params_dict)
     sim.run(until=2 * SEC)
     # 8 credits' worth of data per port plus slack — never O(flows) MTUs.
+    assert topo.net.max_data_queue_bytes() <= 16 * 1538
+
+
+# -- multi-switch topologies with background load ---------------------------
+
+multi_scenario = st.fixed_dictionaries({
+    "seed": st.integers(min_value=0, max_value=5_000),
+    "topo": st.sampled_from(["dumbbell", "fat_tree"]),
+    "n_flows": st.integers(min_value=1, max_value=5),
+    "size_kb": st.integers(min_value=2, max_value=60),
+    "background": st.booleans(),
+})
+
+
+def build_multi(params_dict, audited=False):
+    """Random flows over a dumbbell or fat tree, optionally with steady
+    background transfers competing for the fabric."""
+    sim = Simulator(seed=params_dict["seed"])
+    if params_dict["topo"] == "dumbbell":
+        topo = dumbbell(sim, n_pairs=4)
+        hosts = topo.senders + topo.receivers
+        rtt_hint = 40 * US
+    else:
+        topo = fat_tree(sim, k=4)
+        hosts = topo.hosts
+        rtt_hint = 60 * US
+    # Attach before flow creation so flows self-register for the per-flow
+    # conservation and completion checks.  Under an ambient REPRO_AUDIT=1
+    # the topology builder already attached one; reuse it.
+    auditor = None
+    if audited:
+        auditor = getattr(sim, "auditor", None) or NetworkAuditor(sim)
+        auditor.attach_network(topo.net)
+    params = ExpressPassParams(rtt_hint_ps=rtt_hint)
+    # Scenario-shape randomness is independent of the simulator's streams so
+    # the run itself stays bit-reproducible per (seed, shape).
+    rng = random.Random(params_dict["seed"])
+    flows = []
+    for _ in range(params_dict["n_flows"]):
+        src, dst = rng.sample(hosts, 2)
+        flows.append(ExpressPassFlow(src, dst, params_dict["size_kb"] * 1000,
+                                     start_ps=rng.randint(0, 2 * MS),
+                                     params=params))
+    if params_dict["background"]:
+        for i in range(2):
+            src, dst = rng.sample(hosts, 2)
+            flows.append(ExpressPassFlow(src, dst, 20_000,
+                                         start_ps=i * MS, params=params))
+    return sim, topo, flows, auditor
+
+
+@settings(deadline=None, max_examples=8,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(multi_scenario)
+def test_multi_switch_flows_complete_with_zero_loss_and_clean_audit(params_dict):
+    sim, topo, flows, auditor = build_multi(params_dict, audited=True)
+    sim.run(until=3 * SEC)
+    for flow in flows:
+        assert flow.completed, (params_dict, flow)
+        assert flow.bytes_delivered == flow.size_bytes
+    assert topo.net.total_data_drops() == 0
+    assert sim.pending() == 0
+    report = auditor.finalize()
+    assert report.ok, (params_dict, report.format())
+
+
+@settings(deadline=None, max_examples=5,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(multi_scenario)
+def test_multi_switch_scenarios_bit_reproducible(params_dict):
+    def run():
+        sim, topo, flows, _ = build_multi(params_dict)
+        sim.run(until=3 * SEC)
+        return ([f.fct_ps for f in flows], sim.events_processed,
+                topo.net.max_data_queue_bytes(),
+                topo.net.total_credit_drops())
+
+    assert run() == run()
+
+
+@settings(deadline=None, max_examples=5,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(multi_scenario)
+def test_multi_switch_data_queues_stay_small(params_dict):
+    """Bounded queues hold across hops, not just at a single ToR."""
+    sim, topo, flows, _ = build_multi(params_dict)
+    sim.run(until=3 * SEC)
     assert topo.net.max_data_queue_bytes() <= 16 * 1538
