@@ -4,7 +4,27 @@ Not a paper figure — these benches track the substrate's own speed so
 regressions in the hot path (event heap, port scheduler, ExpressPass
 feedback) show up in CI.  Unlike the figure benches these run multiple
 rounds for real statistics.
+
+Besides the pytest-benchmark entry points, this module is a standalone
+runner for the CI perf-smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_simulator_throughput.py \
+        --output BENCH_simcore.json --check benchmarks/BENCH_simcore.json
+
+It measures events/sec for three scenarios — the pure event loop, a serial
+ExpressPass dumbbell, and a small sweep on two workers — and writes them to
+a JSON report alongside the committed pre-PR baseline.  ``--check`` exits
+non-zero if any metric falls below its absolute floor or regresses more
+than 20 % against the committed report's numbers.
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from time import perf_counter
 
 from repro.core import ExpressPassFlow, ExpressPassParams
 from repro.sim.engine import Simulator
@@ -49,3 +69,173 @@ def test_expresspass_packet_rate(benchmark):
 
     events = benchmark(run)
     assert events > 50_000  # ~5 ms of 10 G credit-scheduled traffic
+
+
+# --- standalone runner (CI perf smoke) ---------------------------------------
+
+#: Events/sec measured at the pre-optimisation seed (commit cba716c) on the
+#: reference container; the committed BENCH_simcore.json carries these so
+#: the speedup of the repro.perf work stays visible.
+PRE_PR_BASELINE = {
+    "event_loop": 834_090,
+    "expresspass_dumbbell": 188_202,
+}
+
+#: Absolute floors (events/sec): ~4-5x below the optimised reference
+#: numbers, so only a catastrophic hot-path regression — not a slow CI
+#: machine — trips them.
+FLOORS = {
+    "event_loop": 250_000,
+    "expresspass_dumbbell": 60_000,
+    "sweep_parallel2": 60_000,
+}
+
+#: ``--check`` fails when a metric drops below this fraction of the
+#: committed report's number.
+REGRESSION_TOLERANCE = 0.8
+
+
+def _bench_event_loop() -> tuple:
+    """(events, seconds) for the 100k self-rescheduling timer chain."""
+    sim = Simulator(seed=0)
+    state = {"n": 0}
+
+    def tick():
+        state["n"] += 1
+        if state["n"] < 100_000:
+            sim.schedule(1000, tick)
+
+    sim.schedule(0, tick)
+    t0 = perf_counter()
+    sim.run()
+    return state["n"], perf_counter() - t0
+
+
+def _dumbbell_events(seed: int = 1, n_pairs: int = 2, run_ms: int = 5) -> int:
+    """Run the 2-flow ExpressPass dumbbell; returns events processed."""
+    sim = Simulator(seed=seed)
+    topo = dumbbell(sim, n_pairs=n_pairs,
+                    bottleneck=LinkSpec(rate_bps=10 * GBPS,
+                                        prop_delay_ps=4 * US))
+    params = ExpressPassParams(rtt_hint_ps=40 * US)
+    flows = [ExpressPassFlow(s, r, None, params=params)
+             for s, r in zip(topo.senders, topo.receivers)]
+    sim.run(until=run_ms * MS)
+    for f in flows:
+        f.stop()
+    return sim.events_processed
+
+
+def _bench_dumbbell() -> tuple:
+    t0 = perf_counter()
+    events = _dumbbell_events()
+    return events, perf_counter() - t0
+
+
+def _bench_sweep_parallel2() -> tuple:
+    """(events, seconds) for a 4-task dumbbell sweep on 2 workers.
+
+    Exercises the same hot path under ``repro.runtime`` process-pool
+    dispatch (cache off, so the simulations really run).  Aggregate
+    events/sec is total events over sweep wall time.
+    """
+    from repro import runtime
+    from repro.runtime.task import TaskSpec
+
+    specs = [TaskSpec(_dumbbell_events,
+                      {"seed": seed, "run_ms": 3},
+                      label=f"dumbbell seed={seed}")
+             for seed in range(4)]
+    t0 = perf_counter()
+    with runtime.using(parallel=2, cache_enabled=False, progress=False):
+        results = runtime.run_tasks(specs, name="bench_sweep")
+    elapsed = perf_counter() - t0
+    events = sum(r.value for r in results if r.ok)
+    if not events:
+        raise RuntimeError(
+            f"sweep produced no events: {[r.error for r in results]}")
+    return events, elapsed
+
+
+SCENARIOS = {
+    "event_loop": _bench_event_loop,
+    "expresspass_dumbbell": _bench_dumbbell,
+    "sweep_parallel2": _bench_sweep_parallel2,
+}
+
+
+def measure(rounds: int = 3) -> dict:
+    """Best-of-``rounds`` events/sec for every scenario."""
+    current = {}
+    for name, fn in SCENARIOS.items():
+        best = 0.0
+        for _ in range(max(1, rounds)):
+            events, secs = fn()
+            best = max(best, events / secs)
+        current[name] = round(best)
+        print(f"  {name:<22s} {current[name]:>12,} events/s", file=sys.stderr)
+    return current
+
+
+def check(current: dict, committed: dict) -> list:
+    """Return a list of failure strings (empty = pass)."""
+    failures = []
+    for name, eps in current.items():
+        floor = FLOORS.get(name)
+        if floor is not None and eps < floor:
+            failures.append(
+                f"{name}: {eps:,} events/s below absolute floor {floor:,}")
+        ref = committed.get("current", {}).get(name)
+        if ref and eps < REGRESSION_TOLERANCE * ref:
+            failures.append(
+                f"{name}: {eps:,} events/s is a "
+                f"{100 * (1 - eps / ref):.0f}% regression vs committed "
+                f"{ref:,} (tolerance {100 * (1 - REGRESSION_TOLERANCE):.0f}%)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Simulator core throughput bench (CI perf smoke).")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the JSON report here")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="best-of rounds per scenario (default 3)")
+    parser.add_argument("--check", default=None, metavar="BASELINE.json",
+                        help="fail on floors or >20%% regression vs this "
+                             "committed report")
+    args = parser.parse_args(argv)
+
+    print("bench_simulator_throughput:", file=sys.stderr)
+    current = measure(args.rounds)
+    report = {
+        "bench": "simcore",
+        "units": "events_per_second",
+        "rounds": args.rounds,
+        "baseline_pre_pr": PRE_PR_BASELINE,
+        "current": current,
+        "speedup_vs_pre_pr": {
+            name: round(current[name] / base, 2)
+            for name, base in PRE_PR_BASELINE.items() if name in current
+        },
+    }
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+
+    if args.check:
+        committed = json.loads(pathlib.Path(args.check).read_text())
+        failures = check(current, committed)
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("perf check passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

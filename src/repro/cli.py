@@ -8,6 +8,8 @@ Usage::
     python -m repro run fig15 --parallel 4            # sweep on 4 workers
     python -m repro run fig15 --seed 3 --no-cache     # replicate across seeds
     python -m repro run table1 --json
+    python -m repro profile fig10                     # where do events go?
+    python -m repro run fig15 --profile --parallel 4  # profile the workers too
     python -m repro cache stats
     python -m repro cache clear
 
@@ -26,6 +28,7 @@ rerun is served from the on-disk cache (disable with ``--no-cache``).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import inspect
 import json
 import pathlib
@@ -114,32 +117,45 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+
+    def _add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("experiment", help="experiment id, e.g. fig10 or table1")
+        p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                       help="override a run(...) keyword argument")
+        p.add_argument("--json", action="store_true",
+                       help="emit rows as JSON instead of a table")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the experiment's seed (where accepted)")
+        p.add_argument("--parallel", type=int, default=None, metavar="N",
+                       help="run sweep tasks on N worker processes "
+                            "(0/1 = serial; default REPRO_PARALLEL or 0)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache for this run")
+        p.add_argument("--retries", type=int, default=None, metavar="K",
+                       help="retry a failing sweep task up to K times "
+                            "(default REPRO_RETRIES or 2)")
+        p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="best-effort per-task timeout in seconds")
+        p.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="append sweep events as JSONL to FILE")
+        p.add_argument("--audit", action="store_true",
+                       help="run under the runtime verifier (repro.audit): "
+                            "check clock monotonicity, credit rate bounds, "
+                            "buffer occupancy, conservation, and path "
+                            "symmetry in every simulation; exit 1 on any "
+                            "violation")
+
     runp = sub.add_parser("run", help="run one experiment and print its table")
-    runp.add_argument("experiment", help="experiment id, e.g. fig10 or table1")
-    runp.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
-                      help="override a run(...) keyword argument")
-    runp.add_argument("--json", action="store_true",
-                      help="emit rows as JSON instead of a table")
-    runp.add_argument("--seed", type=int, default=None,
-                      help="override the experiment's seed (where accepted)")
-    runp.add_argument("--parallel", type=int, default=None, metavar="N",
-                      help="run sweep tasks on N worker processes "
-                           "(0/1 = serial; default REPRO_PARALLEL or 0)")
-    runp.add_argument("--no-cache", action="store_true",
-                      help="disable the on-disk result cache for this run")
-    runp.add_argument("--retries", type=int, default=None, metavar="K",
-                      help="retry a failing sweep task up to K times "
-                           "(default REPRO_RETRIES or 2)")
-    runp.add_argument("--timeout", type=float, default=None, metavar="SEC",
-                      help="best-effort per-task timeout in seconds")
-    runp.add_argument("--telemetry", default=None, metavar="FILE",
-                      help="append sweep events as JSONL to FILE")
-    runp.add_argument("--audit", action="store_true",
-                      help="run under the runtime verifier (repro.audit): "
-                           "check clock monotonicity, credit rate bounds, "
-                           "buffer occupancy, conservation, and path "
-                           "symmetry in every simulation; exit 1 on any "
-                           "violation")
+    _add_run_options(runp)
+    runp.add_argument("--profile", action="store_true",
+                      help="profile the simulation event loop "
+                           "(repro.perf.profile) and print a per-subsystem "
+                           "report to stderr")
+    profp = sub.add_parser(
+        "profile",
+        help="run one experiment under the event-loop profiler "
+             "(same options as run; report goes to stderr)")
+    _add_run_options(profp)
     cachep = sub.add_parser(
         "cache", help="inspect or clear the experiment result cache")
     cachep.add_argument("action", choices=("stats", "clear"))
@@ -203,28 +219,46 @@ def main(argv=None) -> int:
         config_overrides["telemetry_path"] = pathlib.Path(args.telemetry)
     if args.audit:
         config_overrides["audit"] = True
+    do_profile = args.command == "profile" or getattr(args, "profile", False)
+    if do_profile:
+        # Profiling wants the simulations to actually run: a cache-served
+        # sweep would profile nothing, so the result cache is bypassed.
+        config_overrides["profile"] = True
+        config_overrides["cache_enabled"] = False
 
+    # Outer captures cover simulations the experiment runs directly in this
+    # process; sweep tasks are captured individually by the scheduler (in
+    # their worker processes when parallel) and banked on the session.  The
+    # profiler's session nesting ensures the two sources never double count.
     audit_verdict = None
+    profile_report = None
+    with contextlib.ExitStack() as stack:
+        cap = prof_session = None
+        if args.audit:
+            from repro import audit
+            audit.reset_session()
+        if do_profile:
+            from repro.perf import profile as perf_profile
+            perf_profile.reset_task_summaries()
+            prof_session = stack.enter_context(perf_profile.profiled())
+        stack.enter_context(runtime.using(**config_overrides))
+        if args.audit:
+            cap = stack.enter_context(audit.capture())
+        result = fn(**overrides)
     if args.audit:
-        # The outer capture covers simulations the experiment runs directly
-        # in this process; sweep tasks are captured individually by the
-        # scheduler (in their worker processes when parallel) and banked on
-        # the session, so the two sources never double count.
-        from repro import audit
-        audit.reset_session()
-        with runtime.using(**config_overrides):
-            with audit.capture() as cap:
-                result = fn(**overrides)
         audit_verdict = audit.merge_summaries(
             [cap.summary, audit.session_summary()])
-    else:
-        with runtime.using(**config_overrides):
-            result = fn(**overrides)
+    if do_profile:
+        profile_report = prof_session.report
+        for _label, summary in perf_profile.task_summaries():
+            profile_report.add_summary(summary)
     if args.json:
         print(json.dumps({"name": result.name, "rows": result.rows,
                           "meta": result.meta}, indent=2, default=str))
     else:
         print(format_table(result))
+    if profile_report is not None:
+        print(profile_report.format(), file=sys.stderr)
     if audit_verdict is not None:
         from repro.audit import format_summary
         print(format_summary(audit_verdict), file=sys.stderr)

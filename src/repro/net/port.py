@@ -11,14 +11,20 @@ transmitter state machine.  Scheduling policy (ExpressPass §3.1):
   otherwise the head data packet; if only credits wait but tokens are short,
   the transmitter sleeps exactly until the bucket refills.
 
-Optional per-port attachments (`phantom`, `rcp_controller`) let HULL and RCP
-reuse the same port without burdening the common path.
+Optional per-port attachments (``phantom``, ``rcp_controller``, ``pfc``,
+hooks, fault filters) let HULL, RCP, PFC, tracing, and fault injection reuse
+the same port without burdening the common path: attachments are exposed as
+properties that maintain a precomputed flags word, and while the word is
+zero the transmitter takes a fast path that skips every attachment check
+(:mod:`repro.perf`).  The fast and checked paths are behaviour-identical —
+golden traces do not move when the fast path is disabled.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro import perf
 from repro.net.packet import (
     CREDIT_RATE_FRACTION_DEN,
     CREDIT_RATE_FRACTION_NUM,
@@ -28,6 +34,19 @@ from repro.net.packet import (
 from repro.net.queues import CreditQueue, DataQueue, PhantomQueue, TokenBucket
 from repro.sim.engine import Simulator
 from repro.sim.units import tx_time_ps
+
+# Flags-word bits: any nonzero bit routes send/_try_send to the fully
+# checked slow path.  Kept private; tests introspect ``port._flags``.
+_F_DOWN = 1 << 0
+_F_DROP_FILTER = 1 << 1
+_F_PHANTOM = 1 << 2
+_F_RCP = 1 << 3
+_F_PFC = 1 << 4
+_F_PAUSED = 1 << 5
+_F_ON_TRANSMIT = 1 << 6
+_F_ON_ENQUEUE = 1 << 7
+_F_LOWPRIO = 1 << 8
+_F_NO_FASTPATH = 1 << 9
 
 
 class PortStats:
@@ -50,10 +69,10 @@ class Port:
     __slots__ = (
         "sim", "node", "peer", "rate_bps", "prop_delay_ps",
         "data_queue", "credit_queue", "credit_bucket",
-        "lowprio_queue",
-        "phantom", "rcp_controller", "on_transmit", "on_enqueue",
-        "pfc", "pfc_paused", "up", "drop_filter",
-        "stats", "_busy", "_wake_event",
+        "_lowprio_queue",
+        "_phantom", "_rcp_controller", "_on_transmit", "_on_enqueue",
+        "_pfc", "_pfc_paused", "_up", "_drop_filter",
+        "stats", "_busy", "_wake_event", "_flags", "_tx_cache",
     )
 
     def __init__(
@@ -72,38 +91,156 @@ class Port:
         self.peer = peer
         self.rate_bps = rate_bps
         self.prop_delay_ps = prop_delay_ps
-        self.data_queue = DataQueue(data_capacity_bytes, ecn_threshold_bytes)
-        self.credit_queue = CreditQueue(credit_capacity_pkts)
+        # Queues and the credit meter observe time from the port's birth, so
+        # ports added mid-simulation keep exact occupancy/rate accounting.
+        born = sim.now
+        self.data_queue = DataQueue(data_capacity_bytes, ecn_threshold_bytes,
+                                    birth_ps=born)
+        self.credit_queue = CreditQueue(credit_capacity_pkts, birth_ps=born)
         credit_rate = rate_bps * CREDIT_RATE_FRACTION_NUM // CREDIT_RATE_FRACTION_DEN
-        self.credit_bucket = TokenBucket(credit_rate, burst_bytes=2 * CREDIT_WIRE_MAX)
+        self.credit_bucket = TokenBucket(credit_rate,
+                                         burst_bytes=2 * CREDIT_WIRE_MAX,
+                                         now_ps=born)
         # Low-priority queue for opportunistic (uncredited) data, created on
         # first use (§7 / RC3-style extension).  Strictly below normal data.
-        self.lowprio_queue: Optional[DataQueue] = None
-        self.phantom: Optional[PhantomQueue] = None
-        self.rcp_controller = None
-        #: Optional hook called with each packet as it hits the wire
-        #: (used by :class:`repro.net.trace.PortTracer`).
-        self.on_transmit = None
-        #: Optional hook called as ``on_enqueue(pkt, accepted)`` after each
-        #: enqueue decision (used by :class:`repro.audit.NetworkAuditor` to
-        #: bound queue occupancy).  Installers must chain any prior hook.
-        self.on_enqueue = None
-        #: Priority flow control (802.1Qbb analog): ``pfc`` is the installed
-        #: controller watching this port's data queue; ``pfc_paused`` is set
-        #: by the *peer* to stop our data (credits/control keep flowing, as
-        #: PFC pauses per traffic class).
-        self.pfc = None
-        self.pfc_paused = False
-        #: Administrative/link state.  A down port drops everything handed to
-        #: it (packets already in flight on the wire still arrive).
-        self.up = True
-        #: Optional fault-injection hook: called with each packet entering
-        #: the port; returning True silently discards it
-        #: (:class:`repro.net.fault.LossInjector`).
-        self.drop_filter = None
+        self._lowprio_queue: Optional[DataQueue] = None
+        self._phantom: Optional[PhantomQueue] = None
+        self._rcp_controller = None
+        self._on_transmit = None
+        self._on_enqueue = None
+        self._pfc = None
+        self._pfc_paused = False
+        self._up = True
+        self._drop_filter = None
         self.stats = PortStats()
         self._busy = False
         self._wake_event = None
+        #: Per-size serialization-delay memo (the port's rate is fixed).
+        self._tx_cache = {}
+        self._flags = 0
+        self._refresh_flags()
+
+    # -- attachments ---------------------------------------------------------
+    # Each optional attachment is a property over a slot so assignment (the
+    # public idiom: ``port.phantom = PhantomQueue(...)``) keeps the flags
+    # word in sync.  The hot path reads the underscore slots directly.
+
+    def _refresh_flags(self) -> None:
+        flags = 0 if perf.FASTPATH_ENABLED else _F_NO_FASTPATH
+        if not self._up:
+            flags |= _F_DOWN
+        if self._drop_filter is not None:
+            flags |= _F_DROP_FILTER
+        if self._phantom is not None:
+            flags |= _F_PHANTOM
+        if self._rcp_controller is not None:
+            flags |= _F_RCP
+        if self._pfc is not None:
+            flags |= _F_PFC
+        if self._pfc_paused:
+            flags |= _F_PAUSED
+        if self._on_transmit is not None:
+            flags |= _F_ON_TRANSMIT
+        if self._on_enqueue is not None:
+            flags |= _F_ON_ENQUEUE
+        if self._lowprio_queue is not None:
+            flags |= _F_LOWPRIO
+        self._flags = flags
+
+    @property
+    def lowprio_queue(self) -> Optional[DataQueue]:
+        return self._lowprio_queue
+
+    @lowprio_queue.setter
+    def lowprio_queue(self, value: Optional[DataQueue]) -> None:
+        self._lowprio_queue = value
+        self._refresh_flags()
+
+    @property
+    def phantom(self) -> Optional[PhantomQueue]:
+        return self._phantom
+
+    @phantom.setter
+    def phantom(self, value: Optional[PhantomQueue]) -> None:
+        self._phantom = value
+        self._refresh_flags()
+
+    @property
+    def rcp_controller(self):
+        return self._rcp_controller
+
+    @rcp_controller.setter
+    def rcp_controller(self, value) -> None:
+        self._rcp_controller = value
+        self._refresh_flags()
+
+    @property
+    def on_transmit(self):
+        """Optional hook called with each packet as it hits the wire
+        (used by :class:`repro.net.trace.PortTracer`)."""
+        return self._on_transmit
+
+    @on_transmit.setter
+    def on_transmit(self, value) -> None:
+        self._on_transmit = value
+        self._refresh_flags()
+
+    @property
+    def on_enqueue(self):
+        """Optional hook called as ``on_enqueue(pkt, accepted)`` after each
+        enqueue decision (used by :class:`repro.audit.NetworkAuditor` to
+        bound queue occupancy).  Installers must chain any prior hook."""
+        return self._on_enqueue
+
+    @on_enqueue.setter
+    def on_enqueue(self, value) -> None:
+        self._on_enqueue = value
+        self._refresh_flags()
+
+    @property
+    def pfc(self):
+        """Priority flow control (802.1Qbb analog): the installed controller
+        watching this port's data queue."""
+        return self._pfc
+
+    @pfc.setter
+    def pfc(self, value) -> None:
+        self._pfc = value
+        self._refresh_flags()
+
+    @property
+    def pfc_paused(self) -> bool:
+        """Set by the *peer* to stop our data (credits/control keep flowing,
+        as PFC pauses per traffic class)."""
+        return self._pfc_paused
+
+    @pfc_paused.setter
+    def pfc_paused(self, value: bool) -> None:
+        self._pfc_paused = value
+        self._refresh_flags()
+
+    @property
+    def up(self) -> bool:
+        """Administrative/link state.  A down port drops everything handed
+        to it (packets already in flight on the wire still arrive)."""
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        self._up = value
+        self._refresh_flags()
+
+    @property
+    def drop_filter(self):
+        """Optional fault-injection hook: called with each packet entering
+        the port; returning True silently discards it
+        (:class:`repro.net.fault.LossInjector`)."""
+        return self._drop_filter
+
+    @drop_filter.setter
+    def drop_filter(self, value) -> None:
+        self._drop_filter = value
+        self._refresh_flags()
 
     # -- naming ------------------------------------------------------------
     @property
@@ -116,9 +253,31 @@ class Port:
     # -- ingress side of the egress object ----------------------------------
     def send(self, pkt: Packet) -> bool:
         """Enqueue ``pkt`` for transmission; returns False if it was dropped."""
-        if self.drop_filter is not None and self.drop_filter(pkt):
+        if self._flags:
+            return self._send_checked(pkt)
+        # Fast path: port is up, unpaused, and has no attachments.
+        now = self.sim.now
+        if pkt.is_credit:
+            ok = self.credit_queue.enqueue(pkt, now)
+            if not ok and pkt.flow is not None:
+                pkt.flow.on_credit_dropped(pkt, self)
+        elif pkt.low_priority:
+            # First low-priority packet creates the queue (and sets its
+            # flag), so route through the checked path.
+            return self._send_checked(pkt)
+        else:
+            ok = self.data_queue.enqueue(pkt, now)
+            if not ok and pkt.flow is not None:
+                pkt.flow.on_data_dropped(pkt, self)
+        if ok:
+            self._try_send()
+        return ok
+
+    def _send_checked(self, pkt: Packet) -> bool:
+        """The fully-checked send path: attachments, PFC, faults, hooks."""
+        if self._drop_filter is not None and self._drop_filter(pkt):
             return False
-        if not self.up:
+        if not self._up:
             if pkt.is_credit:
                 if pkt.flow is not None:
                     pkt.flow.on_credit_dropped(pkt, self)
@@ -131,23 +290,24 @@ class Port:
             if not ok and pkt.flow is not None:
                 pkt.flow.on_credit_dropped(pkt, self)
         elif pkt.low_priority:
-            if self.lowprio_queue is None:
-                self.lowprio_queue = DataQueue(self.data_queue.capacity_bytes)
-            ok = self.lowprio_queue.enqueue(pkt, now)
+            if self._lowprio_queue is None:
+                self.lowprio_queue = DataQueue(self.data_queue.capacity_bytes,
+                                               birth_ps=now)
+            ok = self._lowprio_queue.enqueue(pkt, now)
             if not ok and pkt.flow is not None:
                 pkt.flow.on_data_dropped(pkt, self)
         else:
-            if self.phantom is not None:
-                self.phantom.on_arrival(pkt, now)
-            if self.rcp_controller is not None:
-                self.rcp_controller.on_arrival(pkt, now)
+            if self._phantom is not None:
+                self._phantom.on_arrival(pkt, now)
+            if self._rcp_controller is not None:
+                self._rcp_controller.on_arrival(pkt, now)
             ok = self.data_queue.enqueue(pkt, now)
             if not ok and pkt.flow is not None:
                 pkt.flow.on_data_dropped(pkt, self)
-            if ok and self.pfc is not None:
-                self.pfc.on_queue_change(self)
-        if self.on_enqueue is not None:
-            self.on_enqueue(pkt, ok)
+            if ok and self._pfc is not None:
+                self._pfc.on_queue_change(self)
+        if self._on_enqueue is not None:
+            self._on_enqueue(pkt, ok)
         if ok:
             self._try_send()
         return ok
@@ -156,6 +316,8 @@ class Port:
     def _try_send(self) -> None:
         if self._busy:
             return
+        if self._flags:
+            return self._try_send_checked()
         now = self.sim.now
         head = self.credit_queue.head()
         # Byte-based metering: a jittered 84..92 B credit consumes its actual
@@ -166,20 +328,37 @@ class Port:
         if head is not None and self.credit_bucket.try_consume(head.wire_bytes, now):
             self._transmit(self.credit_queue.dequeue(now))
             return
-        if not self.pfc_paused:
+        pkt = self.data_queue.dequeue(now)
+        if pkt is not None:
+            self._transmit(pkt)
+            return
+        if head is not None:
+            # Only credits wait; sleep until the bucket has refilled.
+            wait = self.credit_bucket.time_until(head.wire_bytes, now)
+            if self._wake_event is not None:
+                self._wake_event.cancel()
+            self._wake_event = self.sim.schedule(max(wait, 1), self._wake)
+
+    def _try_send_checked(self) -> None:
+        """The fully-checked transmit scheduler: PFC and low-priority."""
+        now = self.sim.now
+        head = self.credit_queue.head()
+        if head is not None and self.credit_bucket.try_consume(head.wire_bytes, now):
+            self._transmit(self.credit_queue.dequeue(now))
+            return
+        if not self._pfc_paused:
             pkt = self.data_queue.dequeue(now)
             if pkt is not None:
-                if self.pfc is not None:
-                    self.pfc.on_queue_change(self)
+                if self._pfc is not None:
+                    self._pfc.on_queue_change(self)
                 self._transmit(pkt)
                 return
-        if self.lowprio_queue is not None and not self.pfc_paused:
-            pkt = self.lowprio_queue.dequeue(now)
+        if self._lowprio_queue is not None and not self._pfc_paused:
+            pkt = self._lowprio_queue.dequeue(now)
             if pkt is not None:
                 self._transmit(pkt)
                 return
         if head is not None:
-            # Only credits wait; sleep until the bucket has refilled.
             wait = self.credit_bucket.time_until(head.wire_bytes, now)
             if self._wake_event is not None:
                 self._wake_event.cancel()
@@ -190,22 +369,30 @@ class Port:
         self._try_send()
 
     def _transmit(self, pkt: Packet) -> None:
-        if self.on_transmit is not None:
-            self.on_transmit(pkt)
+        if self._on_transmit is not None:
+            self._on_transmit(pkt)
         self._busy = True
         if self._wake_event is not None:
             self._wake_event.cancel()
             self._wake_event = None
-        tx = tx_time_ps(pkt.wire_bytes, self.rate_bps)
+        wire = pkt.wire_bytes
+        tx = self._tx_cache.get(wire)
+        if tx is None:
+            tx = tx_time_ps(wire, self.rate_bps)
+            self._tx_cache[wire] = tx
+        stats = self.stats
         if pkt.is_credit:
-            self.stats.credit_bytes_sent += pkt.wire_bytes
-            self.stats.credit_pkts_sent += 1
+            stats.credit_bytes_sent += wire
+            stats.credit_pkts_sent += 1
         else:
-            self.stats.data_bytes_sent += pkt.wire_bytes
-            self.stats.data_pkts_sent += 1
-        self.stats.busy_ps += tx
-        self.sim.schedule(tx, self._tx_done)
-        self.sim.schedule(tx + self.prop_delay_ps, self.peer.receive, pkt, self)
+            stats.data_bytes_sent += wire
+            stats.data_pkts_sent += 1
+        stats.busy_ps += tx
+        # Fire-and-forget events: nothing ever cancels a transmit completion
+        # or an in-flight wire delivery, so let the engine pool them.
+        sim = self.sim
+        sim.schedule_unref(tx, self._tx_done)
+        sim.schedule_unref(tx + self.prop_delay_ps, self.peer.receive, pkt, self)
 
     def _tx_done(self) -> None:
         self._busy = False
@@ -213,7 +400,7 @@ class Port:
 
     def set_pfc_paused(self, paused: bool) -> None:
         """Called by the peer's PFC controller (after wire delay)."""
-        if self.pfc_paused and not paused:
+        if self._pfc_paused and not paused:
             self.pfc_paused = False
             self._try_send()
         else:

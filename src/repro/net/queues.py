@@ -20,64 +20,103 @@ from repro.net.packet import Packet
 from repro.sim.units import SEC
 
 
+#: Internal token scale: one byte of tokens == ``8 * SEC`` quanta.  At this
+#: scale a refill over ``dt`` picoseconds adds exactly ``dt * rate_bps``
+#: quanta, so all bucket arithmetic is integer-exact — no float rounding can
+#: make :meth:`TokenBucket.time_until` come up a picosecond short.
+_TOKEN_SCALE = 8 * SEC
+
+
 class TokenBucket:
-    """Token bucket metering in bytes.
+    """Token bucket metering in bytes, with integer-exact accounting.
 
     ``rate_bps`` is the fill rate; ``burst_bytes`` caps accumulation.  Tokens
     are tracked lazily: :meth:`refill` advances the bucket to the current
-    simulation time.
+    simulation time.  Internally tokens are integers in units of
+    ``1 / (8 * SEC)`` bytes, which makes refill, consume, and
+    :meth:`time_until` exact: ``try_consume(n, now + time_until(n, now))``
+    always succeeds, so a port sleeping on the bucket wakes exactly once.
+
+    ``now_ps`` seeds the bucket's notion of "now".  A bucket created
+    mid-simulation must pass the creating context's current time, otherwise
+    a ``start_full=False`` bucket would retroactively accrue tokens for the
+    whole of ``[0, now]`` on its first refill.
     """
 
-    __slots__ = ("rate_bps", "burst_bytes", "tokens", "_last_ps")
+    __slots__ = ("rate_bps", "burst_bytes", "_tokens_scaled", "_burst_scaled",
+                 "_last_ps")
 
-    def __init__(self, rate_bps: int, burst_bytes: float, start_full: bool = True):
+    def __init__(self, rate_bps: int, burst_bytes: float,
+                 start_full: bool = True, now_ps: int = 0):
         if rate_bps <= 0:
             raise ValueError("token bucket rate must be positive")
         self.rate_bps = rate_bps
         self.burst_bytes = float(burst_bytes)
-        self.tokens = self.burst_bytes if start_full else 0.0
-        self._last_ps = 0
+        self._burst_scaled = int(burst_bytes * _TOKEN_SCALE)
+        self._tokens_scaled = self._burst_scaled if start_full else 0
+        self._last_ps = now_ps
+
+    @property
+    def tokens(self) -> float:
+        """Current token level in bytes (float view of the exact state)."""
+        return self._tokens_scaled / _TOKEN_SCALE
+
+    @tokens.setter
+    def tokens(self, value: float) -> None:
+        self._tokens_scaled = int(value * _TOKEN_SCALE)
 
     def refill(self, now_ps: int) -> None:
         """Advance the bucket to ``now_ps``."""
         if now_ps > self._last_ps:
-            self.tokens = min(
-                self.burst_bytes,
-                self.tokens + (now_ps - self._last_ps) * self.rate_bps / (8 * SEC),
-            )
+            tokens = self._tokens_scaled + (now_ps - self._last_ps) * self.rate_bps
+            burst = self._burst_scaled
+            self._tokens_scaled = tokens if tokens < burst else burst
             self._last_ps = now_ps
 
     def try_consume(self, nbytes: int, now_ps: int) -> bool:
         """Consume ``nbytes`` of tokens if available; return success."""
         self.refill(now_ps)
-        if self.tokens >= nbytes:
-            self.tokens -= nbytes
+        need = nbytes * _TOKEN_SCALE
+        if self._tokens_scaled >= need:
+            self._tokens_scaled -= need
             return True
         return False
 
     def time_until(self, nbytes: int, now_ps: int) -> int:
-        """Picoseconds until ``nbytes`` of tokens will be available."""
+        """Picoseconds until ``nbytes`` of tokens will be available.
+
+        Exact: consuming ``nbytes`` at ``now_ps + time_until(...)`` succeeds.
+        """
         self.refill(now_ps)
-        deficit = nbytes - self.tokens
+        deficit = nbytes * _TOKEN_SCALE - self._tokens_scaled
         if deficit <= 0:
             return 0
-        return -int(-(deficit * 8 * SEC) // self.rate_bps)
+        return -(-deficit // self.rate_bps)
 
 
 class _QueueStats:
-    """Shared occupancy bookkeeping: drops, max, and time-weighted average."""
+    """Shared occupancy bookkeeping: drops, max, and time-weighted average.
+
+    ``birth_ps`` is the queue's creation time; the time-weighted average is
+    taken over the queue's actual observation window ``[birth, now]``.  A
+    queue created mid-run (e.g. a port's lazily-built low-priority queue)
+    must pass its creation time, or its average would be diluted by the
+    pre-birth interval it never observed.
+    """
 
     __slots__ = ("enqueued", "dropped", "max_bytes", "max_pkts",
-                 "_integral_byte_ps", "_last_change_ps", "_last_bytes")
+                 "_integral_byte_ps", "_last_change_ps", "_last_bytes",
+                 "_birth_ps")
 
-    def __init__(self):
+    def __init__(self, birth_ps: int = 0):
         self.enqueued = 0
         self.dropped = 0
         self.max_bytes = 0
         self.max_pkts = 0
         self._integral_byte_ps = 0
-        self._last_change_ps = 0
+        self._last_change_ps = birth_ps
         self._last_bytes = 0
+        self._birth_ps = birth_ps
 
     def record(self, now_ps: int, cur_bytes: int, cur_pkts: int) -> None:
         self._integral_byte_ps += self._last_bytes * (now_ps - self._last_change_ps)
@@ -89,11 +128,12 @@ class _QueueStats:
             self.max_pkts = cur_pkts
 
     def average_bytes(self, now_ps: int) -> float:
-        """Time-weighted average occupancy over [0, now]."""
-        if now_ps <= 0:
+        """Time-weighted average occupancy over the window [birth, now]."""
+        window = now_ps - self._birth_ps
+        if window <= 0:
             return 0.0
         total = self._integral_byte_ps + self._last_bytes * (now_ps - self._last_change_ps)
-        return total / now_ps
+        return total / window
 
 
 class DataQueue:
@@ -113,7 +153,8 @@ class DataQueue:
                  "_red_kmin", "_red_kmax", "_red_pmax", "_red_rng",
                  "_q", "bytes", "stats")
 
-    def __init__(self, capacity_bytes: int, ecn_threshold_bytes: Optional[int] = None):
+    def __init__(self, capacity_bytes: int, ecn_threshold_bytes: Optional[int] = None,
+                 birth_ps: int = 0):
         self.capacity_bytes = capacity_bytes
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self._red_kmin = None
@@ -122,7 +163,7 @@ class DataQueue:
         self._red_rng = None
         self._q: deque = deque()
         self.bytes = 0
-        self.stats = _QueueStats()
+        self.stats = _QueueStats(birth_ps)
 
     def set_red_marking(self, kmin_bytes: int, kmax_bytes: int,
                         pmax: float, rng) -> None:
@@ -181,13 +222,13 @@ class CreditQueue:
 
     __slots__ = ("capacity_pkts", "_q", "bytes", "stats")
 
-    def __init__(self, capacity_pkts: int = 8):
+    def __init__(self, capacity_pkts: int = 8, birth_ps: int = 0):
         if capacity_pkts < 1:
             raise ValueError("credit queue needs capacity of at least 1 packet")
         self.capacity_pkts = capacity_pkts
         self._q: deque = deque()
         self.bytes = 0
-        self.stats = _QueueStats()
+        self.stats = _QueueStats(birth_ps)
 
     def __len__(self) -> int:
         return len(self._q)

@@ -23,6 +23,9 @@ Environment variables (all optional) seed the defaults:
 ``REPRO_AUDIT``             "1" runs every sweep task under the runtime
                             verifier (:mod:`repro.audit`); task results then
                             carry per-run audit summaries
+``REPRO_PROFILE``           "1" profiles every sweep task
+                            (:mod:`repro.perf.profile`); task results then
+                            carry per-run profile summaries
 ==========================  =====================================================
 """
 
@@ -70,6 +73,9 @@ class RuntimeConfig:
     #: Run every task under :mod:`repro.audit` (observation-only invariant
     #: checking); audit summaries ride on the TaskResults.
     audit: bool = False
+    #: Profile every task's simulations (:mod:`repro.perf.profile`);
+    #: profile summaries ride on the TaskResults.
+    profile: bool = False
 
     @classmethod
     def from_env(cls, environ=None) -> "RuntimeConfig":
@@ -97,6 +103,7 @@ class RuntimeConfig:
             max_cache_bytes=_int("REPRO_CACHE_MAX_BYTES", 512 * 1024 * 1024),
             max_cache_entries=_int("REPRO_CACHE_MAX_ENTRIES", 4096),
             audit=env.get("REPRO_AUDIT", "") in ("1", "true"),
+            profile=env.get("REPRO_PROFILE", "") in ("1", "true"),
         )
 
     def resolved_cache_dir(self) -> pathlib.Path:

@@ -24,6 +24,7 @@ serially inside its worker rather than forking a nested pool.
 from __future__ import annotations
 
 import concurrent.futures as futures
+import contextlib
 import pickle
 import time
 from concurrent.futures.process import BrokenProcessPool
@@ -50,6 +51,9 @@ class TaskResult:
     #: Per-task audit summary dict when the run executed under
     #: ``RuntimeConfig.audit``; ``None`` for unaudited or cache-served tasks.
     audit: Optional[dict] = None
+    #: Per-task profile summary dict when the run executed under
+    #: ``RuntimeConfig.profile``; ``None`` for unprofiled or cached tasks.
+    profile: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -66,20 +70,30 @@ class SweepError(RuntimeError):
         super().__init__(f"{len(self.failures)} sweep task(s) failed: {detail}")
 
 
-def _call(spec: TaskSpec, audit_enabled: bool = False) -> tuple:
+def _call(spec: TaskSpec, audit_enabled: bool = False,
+          profile_enabled: bool = False) -> tuple:
     """Worker entry point (module-level so it pickles).
 
-    Returns ``(value, audit_summary)``; the summary is ``None`` unless the
-    task ran inside an audit capture (``RuntimeConfig.audit``).  Capturing
-    happens *here*, in whichever process executes the task, so parallel
-    workers audit their own simulations and ship plain-dict verdicts back.
+    Returns ``(value, audit_summary, profile_summary)``; each summary is
+    ``None`` unless the task ran under the matching ``RuntimeConfig`` knob.
+    Capturing happens *here*, in whichever process executes the task, so
+    parallel workers audit/profile their own simulations and ship
+    plain-dict results back.
     """
-    if not audit_enabled:
-        return spec.call(), None
-    from repro import audit
-    with audit.capture() as cap:
+    if not audit_enabled and not profile_enabled:
+        return spec.call(), None, None
+    cap = session = None
+    with contextlib.ExitStack() as stack:
+        if audit_enabled:
+            from repro import audit
+            cap = stack.enter_context(audit.capture())
+        if profile_enabled:
+            from repro.perf import profile as perf_profile
+            session = stack.enter_context(perf_profile.profiled())
         value = spec.call()
-    return value, cap.summary
+    return (value,
+            cap.summary if cap is not None else None,
+            session.report.as_dict() if session is not None else None)
 
 
 def _worker_init() -> None:
@@ -94,6 +108,13 @@ def _bank_audit(label: str, summary: Optional[dict]) -> None:
     if summary is not None:
         from repro import audit
         audit.record_task_summary(label, summary)
+
+
+def _bank_profile(label: str, summary: Optional[dict]) -> None:
+    """Feed a task's profile summary to the session aggregate (CLI report)."""
+    if summary is not None:
+        from repro.perf import profile as perf_profile
+        perf_profile.record_task_summary(label, summary)
 
 
 def _is_pickling_error(exc: BaseException) -> bool:
@@ -165,7 +186,8 @@ def _run_serial(specs, indices, results, config, tel, cache, keys) -> None:
             tel.task_started(i, spec.label, attempts)
             start = time.monotonic()
             try:
-                value, audit_summary = _call(spec, config.audit)
+                value, audit_summary, profile_summary = _call(
+                    spec, config.audit, config.profile)
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 if attempts <= config.retries:
@@ -180,8 +202,10 @@ def _run_serial(specs, indices, results, config, tel, cache, keys) -> None:
             wall = time.monotonic() - start
             results[i] = TaskResult(i, spec.label, value=value,
                                     attempts=attempts, wall_s=wall,
-                                    audit=audit_summary)
+                                    audit=audit_summary,
+                                    profile=profile_summary)
             _bank_audit(spec.label, audit_summary)
+            _bank_profile(spec.label, profile_summary)
             _store(cache, keys, i, spec, value, wall)
             tel.task_done(i, spec.label, wall)
             break
@@ -203,7 +227,7 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
     def submit(i: int) -> None:
         attempts[i] += 1
         tel.task_started(i, specs[i].label, attempts[i])
-        fut = pool.submit(_call, specs[i], config.audit)
+        fut = pool.submit(_call, specs[i], config.audit, config.profile)
         inflight[fut] = (i, time.monotonic())
 
     def record_failure(i: int, error: str, retryable: bool = True) -> None:
@@ -236,7 +260,7 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                     continue
                 i, t_submit = inflight.pop(fut)
                 try:
-                    value, audit_summary = fut.result()
+                    value, audit_summary, profile_summary = fut.result()
                 except BrokenProcessPool as exc:
                     tel.degraded(f"worker pool broke: {exc}")
                     leftovers = [j for j in attempts if results[j] is None]
@@ -258,8 +282,10 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                 wall = now - t_submit
                 results[i] = TaskResult(i, specs[i].label, value=value,
                                         attempts=attempts[i], wall_s=wall,
-                                        audit=audit_summary)
+                                        audit=audit_summary,
+                                        profile=profile_summary)
                 _bank_audit(specs[i].label, audit_summary)
+                _bank_profile(specs[i].label, profile_summary)
                 _store(cache, keys, i, specs[i], value, wall)
                 tel.task_done(i, specs[i].label, wall)
     finally:

@@ -6,9 +6,25 @@ for the same picosecond, which makes runs bit-for-bit reproducible for a given
 seed.  Cancellation is O(1): events carry a ``cancelled`` flag and are skipped
 when popped.
 
+Cancelled entries do not accumulate unboundedly: the simulator counts them
+(which also makes :meth:`Simulator.pending` O(1)) and, past the
+:mod:`repro.perf` thresholds, rebuilds the heap in place with the garbage
+filtered out.  Compaction never changes pop order — the ``(time, sequence)``
+key is a strict total order, so any valid heap over the same live entries
+drains identically.
+
+Hot-path callers that never cancel what they schedule (a port's transmit
+completion, a wire delivery) should use :meth:`Simulator.schedule_unref`: it
+returns no handle, which lets the simulator recycle the Event object through
+a freelist instead of reallocating.  Handle-returning ``schedule`` /
+``schedule_at`` events are *never* recycled, so holding an Event reference
+after it fired stays safe (cancelling it is a no-op, as before).
+
 Random numbers come from *named streams* (:meth:`Simulator.rng`): each stream
 is an independent ``random.Random`` seeded from ``(simulator seed, name)``, so
 adding a consumer of randomness in one subsystem never perturbs another.
+Stream seeds are derived through CRC32; two names that collide there would
+silently share a generator, so collisions raise at stream creation instead.
 """
 
 from __future__ import annotations
@@ -16,26 +32,64 @@ from __future__ import annotations
 import heapq
 import random
 import zlib
+from itertools import count
 from typing import Any, Callable, Dict, List, Optional
+
+from repro import perf
+
+#: ``object.__new__`` alias: builds a bare Event without running its
+#: ``__init__`` (the schedule fast paths assign every slot themselves).
+_new_raw = object.__new__
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Sentinel "run forever" bound — far beyond any picosecond timestamp, so
+#: the run loop needs no per-event ``is None`` test.
+_NO_LIMIT = 1 << 63
+
+#: Optional callable invoked with each newly constructed :class:`Simulator`.
+#: Used by :mod:`repro.perf.profile` to attach profilers ambiently; tests may
+#: install their own hook.  ``None`` (the default) costs one ``is None``.
+on_simulator_created: Optional[Callable[["Simulator"], None]] = None
+
+
+# Event.state bits.  One int field instead of two bools: the schedule fast
+# paths reset it with a single store per event.
+_CANCELLED = 1
+#: Set only on ``schedule_unref`` events, which have no external handle and
+#: may be pooled after they fire.
+_RECYCLE = 2
 
 
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "state", "sim")
 
     def __init__(self, time: int, fn: Callable[..., Any], args: tuple):
         self.time = time
         self.fn = fn
         self.args = args
-        self.cancelled = False
+        self.state = 0
+        #: Owning simulator while the entry sits in its heap; cleared when
+        #: the entry is popped so late cancels don't skew the garbage count.
+        self.sim: Optional["Simulator"] = None
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return bool(self.state & _CANCELLED)
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
-        self.cancelled = True
+        if not self.state & _CANCELLED:
+            self.state |= _CANCELLED
+            sim = self.sim
+            if sim is not None:
+                sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = "cancelled" if self.state & _CANCELLED else "pending"
         return f"<Event t={self.time} {getattr(self.fn, '__qualname__', self.fn)} {state}>"
 
 
@@ -52,14 +106,27 @@ class Simulator:
         self.now: int = 0
         self.seed = seed
         self._heap: List[tuple] = []
-        self._seq: int = 0
+        #: Tie-break sequence for same-picosecond events; a C-level counter
+        #: is cheaper per event than ``self._seq += 1``.
+        self._seq = count(1)
         self._rngs: Dict[str, random.Random] = {}
+        self._rng_stream_seeds: Dict[int, str] = {}
         self.events_processed: int = 0
         self._flow_counter = 0
         self._port_counter = 10_000
+        #: Cancelled-but-unpopped entries currently in the heap.
+        self._cancelled = 0
+        #: Pooled Event objects from fired ``schedule_unref`` entries.
+        self._freelist: List[Event] = []
         #: Optional :class:`repro.audit.NetworkAuditor`; installed by the
         #: auditor itself, consulted by the run loop and by flows.
         self.auditor = None
+        #: Optional :class:`repro.perf.profile.Profiler`; when set the run
+        #: loop counts and wall-clock-samples every callback.
+        self.profiler = None
+        hook = on_simulator_created
+        if hook is not None:
+            hook(self)
 
     def next_flow_id(self) -> int:
         """Allocate a flow id (per-simulator, so runs are reproducible)."""
@@ -73,29 +140,117 @@ class Simulator:
 
     # -- randomness -------------------------------------------------------
     def rng(self, name: str) -> random.Random:
-        """Return the named random stream, creating it on first use."""
+        """Return the named random stream, creating it on first use.
+
+        Raises ``RuntimeError`` if the new name's CRC32-derived seed collides
+        with an existing stream's: the two streams would silently share one
+        generator, violating the independence contract.  (The seed formula
+        is kept as-is — salting with the full name would reshuffle every
+        stream and break trace reproducibility against older fixtures.)
+        """
         stream = self._rngs.get(name)
         if stream is None:
             stream_seed = (self.seed << 32) ^ zlib.crc32(name.encode())
+            clash = self._rng_stream_seeds.get(stream_seed)
+            if clash is not None:
+                raise RuntimeError(
+                    f"RNG stream name {name!r} collides with existing stream "
+                    f"{clash!r}: both hash to seed {stream_seed} "
+                    f"(CRC32 collision). Rename one stream to keep them "
+                    f"independent.")
+            self._rng_stream_seeds[stream_seed] = name
             stream = random.Random(stream_seed)
             self._rngs[name] = stream
         return stream
 
     # -- scheduling -------------------------------------------------------
+    # Event construction is inlined in each schedule variant: these run once
+    # per event, and a helper call costs ~15 % of pure scheduler throughput.
+
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` picoseconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        free = self._freelist
+        event = free.pop() if free else _new_raw(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.state = 0
+        event.sim = self
+        _heappush(self._heap, (time, next(self._seq), event))
+        return event
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute picosecond timestamp."""
         if time < self.now:
             raise ValueError(f"cannot schedule into the past (t={time} < now={self.now})")
-        event = Event(time, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, event))
+        free = self._freelist
+        event = free.pop() if free else _new_raw(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.state = 0
+        event.sim = self
+        _heappush(self._heap, (time, next(self._seq), event))
         return event
+
+    def schedule_unref(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget scheduling for the hot path.
+
+        Identical semantics to :meth:`schedule` except no handle is returned,
+        which guarantees nobody can cancel the event — so the simulator may
+        recycle the Event object once it fires, cutting allocation churn on
+        per-packet events (transmit completions, wire deliveries).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
+        free = self._freelist
+        event = free.pop() if free else _new_raw(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.state = _RECYCLE
+        event.sim = self
+        _heappush(self._heap, (time, next(self._seq), event))
+
+    # -- cancellation bookkeeping -----------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the entry is still heaped."""
+        self._cancelled += 1
+        threshold = perf.COMPACT_MIN
+        if (threshold
+                and self._cancelled >= threshold
+                and self._cancelled * perf.COMPACT_RATIO
+                    >= len(self._heap) - self._cancelled):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap in place with cancelled entries filtered out.
+
+        In place (slice assignment, not rebinding) because the run loop
+        holds a local reference to the heap list while callbacks — which may
+        cancel events — are executing.
+        """
+        heap = self._heap
+        free = self._freelist
+        cap = perf.FREELIST_MAX
+        live = []
+        for entry in heap:
+            event = entry[2]
+            if event.state & _CANCELLED:
+                event.sim = None
+                if event.state & _RECYCLE and len(free) < cap:
+                    event.fn = None
+                    event.args = ()
+                    free.append(event)
+            else:
+                live.append(entry)
+        heap[:] = live
+        heapq.heapify(heap)
+        self._cancelled = 0
 
     # -- execution --------------------------------------------------------
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -105,23 +260,94 @@ class Simulator:
         ``until`` is inclusive: events scheduled exactly at ``until`` run, and
         the clock is left at ``until`` if the simulation outlived it.
         """
+        if self.profiler is not None:
+            return self._run_profiled(until, max_events)
         heap = self._heap
         pop = heapq.heappop
+        free = self._freelist
+        freelist_cap = perf.FREELIST_MAX
+        time_limit = _NO_LIMIT if until is None else until
+        event_limit = _NO_LIMIT if max_events is None else max_events
         processed = 0
+        # Pop-first loop: peeking then popping costs an extra index per
+        # event, while overshooting ``until`` happens at most once per call —
+        # so pop eagerly and push the overshooting entry back.
         while heap:
-            time, _, event = heap[0]
-            if until is not None and time > until:
+            entry = pop(heap)
+            time = entry[0]
+            if time > time_limit:
+                _heappush(heap, entry)
                 self.now = until
                 break
-            pop(heap)
-            if event.cancelled:
+            event = entry[2]
+            event.sim = None
+            state = event.state
+            if state & _CANCELLED:
+                self._cancelled -= 1
+                if state & _RECYCLE and len(free) < freelist_cap:
+                    event.fn = None
+                    event.args = ()
+                    free.append(event)
                 continue
             self.now = time
             if self.auditor is not None:
                 self.auditor.on_event(time)
             event.fn(*event.args)
+            if state and len(free) < freelist_cap:
+                event.fn = None
+                event.args = ()
+                free.append(event)
             processed += 1
-            if max_events is not None and processed >= max_events:
+            if processed >= event_limit:
+                break
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        self.events_processed += processed
+        return processed
+
+    def _run_profiled(self, until: Optional[int], max_events: Optional[int]) -> int:
+        """The run loop with per-callback counting and sampled timing.
+
+        Kept separate so profiling costs nothing when off.  The simulation
+        itself is bit-identical either way: the profiler only observes.
+        """
+        profiler = self.profiler
+        heap = self._heap
+        pop = heapq.heappop
+        free = self._freelist
+        freelist_cap = perf.FREELIST_MAX
+        time_limit = _NO_LIMIT if until is None else until
+        event_limit = _NO_LIMIT if max_events is None else max_events
+        processed = 0
+        while heap:
+            entry = pop(heap)
+            time = entry[0]
+            if time > time_limit:
+                _heappush(heap, entry)
+                self.now = until
+                break
+            event = entry[2]
+            event.sim = None
+            state = event.state
+            if state & _CANCELLED:
+                self._cancelled -= 1
+                profiler.on_cancelled_reaped()
+                if state & _RECYCLE and len(free) < freelist_cap:
+                    event.fn = None
+                    event.args = ()
+                    free.append(event)
+                continue
+            self.now = time
+            if self.auditor is not None:
+                self.auditor.on_event(time)
+            profiler.fire(event.fn, event.args)
+            if state and len(free) < freelist_cap:
+                event.fn = None
+                event.args = ()
+                free.append(event)
+            processed += 1
+            if processed >= event_limit:
                 break
         else:
             if until is not None and until > self.now:
@@ -131,10 +357,17 @@ class Simulator:
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next pending event, or ``None`` if idle."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].state & _CANCELLED:
+            event = _heappop(heap)[2]
+            event.sim = None
+            self._cancelled -= 1
+            if event.state & _RECYCLE and len(self._freelist) < perf.FREELIST_MAX:
+                event.fn = None
+                event.args = ()
+                self._freelist.append(event)
+        return heap[0][0] if heap else None
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for _, _, e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events in the queue.  O(1)."""
+        return len(self._heap) - self._cancelled

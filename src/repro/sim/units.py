@@ -11,6 +11,8 @@ Rates are expressed in **bits per second** as plain integers
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 # --- time units (picoseconds) -------------------------------------------------
 PS = 1
 NS = 1_000
@@ -36,8 +38,15 @@ def bits_to_ps(bits: int, rate_bps: int) -> int:
     return -((-bits * SEC) // rate_bps)
 
 
+@lru_cache(maxsize=None)
 def tx_time_ps(nbytes: int, rate_bps: int) -> int:
-    """Serialization delay of ``nbytes`` at ``rate_bps`` in picoseconds."""
+    """Serialization delay of ``nbytes`` at ``rate_bps`` in picoseconds.
+
+    Memoized per ``(nbytes, rate_bps)``: simulations see a handful of wire
+    sizes over a handful of link rates, so the cache stays tiny while the
+    hot transmit path skips the division.  (Ports additionally keep a local
+    per-size cache, since their rate is fixed.)
+    """
     return bits_to_ps(nbytes * 8, rate_bps)
 
 

@@ -107,6 +107,15 @@ class TestRunControl:
         events[0].cancel()
         assert sim.pending() == 3
 
+    def test_cancel_after_fire_does_not_skew_pending(self, sim):
+        fired = sim.schedule(10, lambda: None)
+        live = sim.schedule(1000, lambda: None)
+        sim.run(until=10)
+        fired.cancel()  # late cancel of an already-fired event: a no-op
+        assert sim.pending() == 1
+        live.cancel()
+        assert sim.pending() == 0
+
 
 class TestRngStreams:
     def test_streams_are_independent(self):
@@ -124,6 +133,16 @@ class TestRngStreams:
         x = Simulator(seed=1).rng("s").random()
         y = Simulator(seed=2).rng("s").random()
         assert x != y
+
+    def test_crc32_seed_collision_raises(self, sim):
+        # "plumless" and "buckeroo" are a known CRC32 collision pair, so
+        # their derived stream seeds coincide for every master seed.  The
+        # streams would silently share one generator; creation must fail.
+        sim.rng("plumless")
+        with pytest.raises(RuntimeError, match="collides"):
+            sim.rng("buckeroo")
+        # The established stream is unharmed and stays reusable.
+        assert sim.rng("plumless") is sim.rng("plumless")
 
 
 @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))

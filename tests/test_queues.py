@@ -49,6 +49,40 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(0, 10)
 
+    def test_empty_bucket_created_mid_sim_accrues_nothing_retroactively(self):
+        # Regression: an empty bucket born at t=1ms used to backfill tokens
+        # for the whole of [0, 1ms) on its first refill, because its clock
+        # implicitly started at zero.
+        born = 1_000_000_000  # 1 ms, plenty to fill a 100-byte burst
+        bucket = TokenBucket(8 * GBPS, burst_bytes=100, start_full=False,
+                             now_ps=born)
+        assert not bucket.try_consume(1, born)
+        # From birth it fills at the configured rate, not instantaneously.
+        assert not bucket.try_consume(100, born + 99_000)
+        assert bucket.try_consume(100, born + 100_000)
+
+    @given(
+        rate_bps=st.integers(min_value=1, max_value=400 * GBPS),
+        burst_bytes=st.integers(min_value=1, max_value=100_000),
+        nbytes=st.integers(min_value=1, max_value=100_000),
+        spent=st.integers(min_value=0, max_value=100_000),
+        now_ps=st.integers(min_value=0, max_value=SEC),
+    )
+    def test_time_until_is_exact_and_minimal(self, rate_bps, burst_bytes,
+                                             nbytes, spent, now_ps):
+        """``try_consume(n, now + time_until(n, now))`` always succeeds, and
+        one picosecond earlier always fails — no wake churn, no idle gap."""
+        bucket = TokenBucket(rate_bps, burst_bytes)
+        bucket.try_consume(min(spent, burst_bytes), 0)
+        wait = bucket.time_until(nbytes, now_ps)
+        if nbytes > burst_bytes:
+            return  # can never accumulate that much; wait is a lower bound
+        if wait > 0:
+            probe = TokenBucket(rate_bps, burst_bytes)
+            probe.try_consume(min(spent, burst_bytes), 0)
+            assert not probe.try_consume(nbytes, now_ps + wait - 1)
+        assert bucket.try_consume(nbytes, now_ps + wait)
+
 
 class TestDataQueue:
     def test_fifo_order(self):
@@ -100,6 +134,14 @@ class TestDataQueue:
         q.enqueue(data(1500), 0)      # 1538 B for [0, 100)
         q.dequeue(100)                # 0 B for [100, 200)
         assert q.stats.average_bytes(200) == pytest.approx(1538 / 2)
+
+    def test_average_uses_birth_window_not_t0(self):
+        # Regression: a queue created mid-run used to average over [0, now],
+        # diluting its occupancy by the interval before it existed.
+        q = DataQueue(10_000, birth_ps=1_000)
+        q.enqueue(data(1500), 1_000)  # 1538 B for its whole life [1000, 1200)
+        assert q.stats.average_bytes(1_200) == pytest.approx(1538)
+        assert q.stats.average_bytes(1_000) == 0.0  # zero-width window
 
 
 class TestCreditQueue:
