@@ -10,6 +10,8 @@ Usage::
     python -m repro run table1 --json
     python -m repro profile fig10                     # where do events go?
     python -m repro run fig15 --profile --parallel 4  # profile the workers too
+    python -m repro run fig13 --metrics               # obs summary on stderr
+    python -m repro obs fig13 --jsonl run.jsonl --csv run.csv --dashboard
     python -m repro cache stats
     python -m repro cache clear
 
@@ -151,11 +153,35 @@ def main(argv=None) -> int:
                       help="profile the simulation event loop "
                            "(repro.perf.profile) and print a per-subsystem "
                            "report to stderr")
+    runp.add_argument("--metrics", action="store_true",
+                      help="collect repro.obs metrics (counters, time "
+                           "series, flow spans) and print a summary to "
+                           "stderr")
     profp = sub.add_parser(
         "profile",
         help="run one experiment under the event-loop profiler "
              "(same options as run; report goes to stderr)")
     _add_run_options(profp)
+    obsp = sub.add_parser(
+        "obs",
+        help="run one experiment under the repro.obs metrics plane "
+             "(same options as run, plus exporters)")
+    _add_run_options(obsp)
+    obsp.add_argument("--jsonl", default=None, metavar="FILE",
+                      help="export the metrics summary as a JSONL event "
+                           "stream to FILE")
+    obsp.add_argument("--csv", default=None, metavar="FILE",
+                      help="export collected time series as long-format CSV "
+                           "to FILE")
+    obsp.add_argument("--prom", default=None, metavar="FILE",
+                      help="export counters/gauges/histograms as Prometheus "
+                           "text to FILE")
+    obsp.add_argument("--pcap", default=None, metavar="FILE",
+                      help="trace every port and dump the packet records as "
+                           "pcap-lite JSONL to FILE")
+    obsp.add_argument("--dashboard", action="store_true",
+                      help="render live sparkline panels to stderr while "
+                           "the simulation runs")
     cachep = sub.add_parser(
         "cache", help="inspect or clear the experiment result cache")
     cachep.add_argument("action", choices=("stats", "clear"))
@@ -225,6 +251,11 @@ def main(argv=None) -> int:
         # sweep would profile nothing, so the result cache is bypassed.
         config_overrides["profile"] = True
         config_overrides["cache_enabled"] = False
+    do_metrics = args.command == "obs" or getattr(args, "metrics", False)
+    if do_metrics:
+        # Same logic as profiling: cached results carry no metrics.
+        config_overrides["metrics"] = True
+        config_overrides["cache_enabled"] = False
 
     # Outer captures cover simulations the experiment runs directly in this
     # process; sweep tasks are captured individually by the scheduler (in
@@ -232,8 +263,9 @@ def main(argv=None) -> int:
     # profiler's session nesting ensures the two sources never double count.
     audit_verdict = None
     profile_report = None
+    metrics_summary = None
     with contextlib.ExitStack() as stack:
-        cap = prof_session = None
+        cap = prof_session = ocap = None
         if args.audit:
             from repro import audit
             audit.reset_session()
@@ -241,6 +273,13 @@ def main(argv=None) -> int:
             from repro.perf import profile as perf_profile
             perf_profile.reset_task_summaries()
             prof_session = stack.enter_context(perf_profile.profiled())
+        if do_metrics:
+            from repro import obs
+            obs.reset_session()
+            ocap = stack.enter_context(obs.capture(
+                dashboard=(sys.stderr if getattr(args, "dashboard", False)
+                           else None),
+                trace=bool(getattr(args, "pcap", None))))
         stack.enter_context(runtime.using(**config_overrides))
         if args.audit:
             cap = stack.enter_context(audit.capture())
@@ -252,6 +291,25 @@ def main(argv=None) -> int:
         profile_report = prof_session.report
         for _label, summary in perf_profile.task_summaries():
             profile_report.add_summary(summary)
+    if do_metrics:
+        metrics_summary = obs.merge_summaries(
+            [ocap.summary, obs.session_summary()])
+        from repro.obs import export as obs_export
+        if getattr(args, "jsonl", None):
+            n = obs_export.write_jsonl(args.jsonl, metrics_summary)
+            print(f"wrote {n} JSONL record(s) to {args.jsonl}",
+                  file=sys.stderr)
+        if getattr(args, "csv", None):
+            n = obs_export.write_csv(args.csv, metrics_summary)
+            print(f"wrote {n} CSV row(s) to {args.csv}", file=sys.stderr)
+        if getattr(args, "prom", None):
+            obs_export.write_prometheus(args.prom, metrics_summary)
+            print(f"wrote Prometheus text to {args.prom}", file=sys.stderr)
+        if getattr(args, "pcap", None):
+            tracers = [t for reg in ocap.registries for t in reg.tracers]
+            n = obs_export.dump_traces(args.pcap, tracers)
+            print(f"wrote {n} packet record(s) to {args.pcap}",
+                  file=sys.stderr)
     if args.json:
         print(json.dumps({"name": result.name, "rows": result.rows,
                           "meta": result.meta}, indent=2, default=str))
@@ -259,6 +317,8 @@ def main(argv=None) -> int:
         print(format_table(result))
     if profile_report is not None:
         print(profile_report.format(), file=sys.stderr)
+    if metrics_summary is not None:
+        print(obs.format_summary(metrics_summary), file=sys.stderr)
     if audit_verdict is not None:
         from repro.audit import format_summary
         print(format_summary(audit_verdict), file=sys.stderr)

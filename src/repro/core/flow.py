@@ -163,6 +163,8 @@ class ExpressPassFlow(Flow):
         if pkt.kind == PacketKind.CREDIT:
             self.credits_received += 1
             if self.sender_state == SenderState.CREQ_SENT:
+                if self.obs_span is not None:
+                    self.obs_span.mark("first_credit", self.sim.now)
                 self._set_sender_state(SenderState.CREDIT_RECEIVING)
                 if self._request_timer is not None:
                     self._request_timer.cancel()
@@ -328,6 +330,8 @@ class ExpressPassFlow(Flow):
             sent_ts = self._credit_sent_ts.pop(echo, None)
             if sent_ts is not None:
                 sample = self.sim.now - sent_ts
+                if self.obs_span is not None:
+                    self.obs_span.credit_rtt(sample)
                 if self._srtt_ps is None:
                     self._srtt_ps = float(sample)
                 else:
@@ -335,6 +339,8 @@ class ExpressPassFlow(Flow):
             self._expected_echo = echo + 1
         # -- in-order data delivery --------------------------------------
         if pkt.seq == self._rcv_expected_data:
+            if self._rcv_expected_data == 0 and self.obs_span is not None:
+                self.obs_span.mark("first_data", self.sim.now)
             self.bytes_delivered += pkt.payload_bytes
             self._rcv_expected_data += 1
             if (self.total_segments is not None
@@ -394,6 +400,8 @@ class ExpressPassFlow(Flow):
             pad = max(0, window - sent)
             loss = (dropped + self.params.target_loss * pad) / (sent + pad)
             self.feedback.update(loss)
+            if self.obs_span is not None:
+                self.obs_span.feedback_updates += 1
             if loss > self.params.target_loss:
                 # React to one congestion event once: feedback generated by
                 # pre-decrease credits must not trigger a second cut.
@@ -403,6 +411,8 @@ class ExpressPassFlow(Flow):
             # idle period as zero loss, so a slow flow ramps up rather than
             # starving.
             self.feedback.update(0.0)
+            if self.obs_span is not None:
+                self.obs_span.feedback_updates += 1
         self._update_event = self.sim.schedule(period, self._feedback_update)
 
     # ---------------------------------------------------------------- cleanup

@@ -12,7 +12,7 @@ from typing import Optional
 
 from repro.core import ExpressPassParams
 from repro.experiments.runner import ExperimentResult, get_harness
-from repro.metrics.timeseries import FlowThroughputSampler, QueueSampler
+from repro.obs import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.units import GBPS, MS, US
 from repro.topology import LinkSpec, dumbbell
@@ -43,17 +43,24 @@ def run(
         sim.schedule_at(stop_at, flow.stop)
         flows.append(flow)
 
-    sampler = FlowThroughputSampler(sim, flows, sample_ps)
-    qsampler = QueueSampler(sim, topo.bottleneck_fwd, sample_ps)
+    # Time series come from the shared observability plane: the samplers are
+    # registry-built, so the same values land in registry series (and hence
+    # any exporter / dashboard) as in the rows below.
+    reg = MetricsRegistry.attach(sim)
+    sampler = reg.sample_throughput(flows, sample_ps)
+    qseries = reg.sample_queue(topo.bottleneck_fwd, sample_ps,
+                               name="queue.bottleneck_bytes").series
     sim.run(until=total_ps)
+    reg.finalize()
 
+    tput = [reg.series[f"throughput.f{flow.fid}_bps"] for flow in flows]
     rows = []
     for i, t in enumerate(sampler.times_ps):
         row = {"time_ms": t / MS}
         for j, flow in enumerate(flows):
-            row[f"flow{j}_gbps"] = sampler.series[flow][i] / 1e9
-        if i < len(qsampler.samples):
-            row["queue_kb"] = qsampler.samples[i][1] / 1e3
+            row[f"flow{j}_gbps"] = tput[j].values[i] / 1e9
+        if i < len(qseries.values):
+            row["queue_kb"] = qseries.values[i] / 1e3
         rows.append(row)
     columns = ["time_ms"] + [f"flow{j}_gbps" for j in range(n_flows)] + ["queue_kb"]
     return ExperimentResult(

@@ -1,5 +1,14 @@
 """Periodic samplers for queues and per-flow throughput, plus convergence
-detection used by the Fig 2/13/16 experiments."""
+detection used by the Fig 2/13/16 experiments.
+
+Both samplers are :mod:`repro.obs`-aware: constructed through the registry's
+factories (:meth:`MetricsRegistry.sample_queue` /
+:meth:`~MetricsRegistry.sample_throughput`) they mirror every reading into a
+named registry :class:`~repro.obs.registry.Series`, so the same values flow
+to the exporters and dashboard that the experiment reads locally.  ``stop()``
+is idempotent and captures one final sample at stop time so the last partial
+interval is not silently dropped.
+"""
 
 from __future__ import annotations
 
@@ -14,24 +23,37 @@ class QueueSampler:
 
     ``samples`` is a list of (time_ps, bytes).  The queue's own stats object
     already tracks max and the exact time-weighted average; this sampler
-    exists for time-series plots (Fig 13).
+    exists for time-series plots (Fig 13).  ``series``, when given, receives
+    a mirror of every sample (the :mod:`repro.obs` migration path).
     """
 
-    def __init__(self, sim: Simulator, port, interval_ps: int):
+    def __init__(self, sim: Simulator, port, interval_ps: int, series=None):
         self.sim = sim
         self.port = port
         self.interval_ps = interval_ps
         self.samples: List[tuple] = []
+        self.series = series
         self._event = sim.schedule(0, self._tick)
 
+    def _sample(self) -> None:
+        now = self.sim.now
+        occupancy = self.port.data_queue.bytes
+        self.samples.append((now, occupancy))
+        if self.series is not None:
+            self.series.append(now, occupancy)
+
     def _tick(self) -> None:
-        self.samples.append((self.sim.now, self.port.data_queue.bytes))
+        self._sample()
         self._event = self.sim.schedule(self.interval_ps, self._tick)
 
     def stop(self) -> None:
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        """Idempotent; takes a final sample if time advanced past the last."""
+        if self._event is None:
+            return
+        self._event.cancel()
+        self._event = None
+        if not self.samples or self.samples[-1][0] < self.sim.now:
+            self._sample()
 
     def max_bytes(self) -> int:
         return max((b for _, b in self.samples), default=0)
@@ -41,15 +63,26 @@ class FlowThroughputSampler:
     """Per-flow goodput time series from ``bytes_delivered`` deltas.
 
     ``series[flow]`` is a list of throughputs in bit/s, one per interval.
+    Constructed with a ``registry``, each flow's readings also mirror into a
+    ``<name_prefix>.f<fid>_bps`` registry series.
     """
 
-    def __init__(self, sim: Simulator, flows: Sequence, interval_ps: int):
+    def __init__(self, sim: Simulator, flows: Sequence, interval_ps: int,
+                 registry=None, name_prefix: str = "throughput"):
         self.sim = sim
         self.flows = list(flows)
         self.interval_ps = interval_ps
         self.series: Dict[object, List[float]] = {f: [] for f in self.flows}
         self.times_ps: List[int] = []
         self._last: Dict[object, int] = {f: f.bytes_delivered for f in self.flows}
+        self._registry = registry
+        self._name_prefix = name_prefix
+        self._mirrors: Dict[object, object] = {}
+        if registry is not None:
+            for f in self.flows:
+                self._mirrors[f] = registry.add_series(
+                    f"{name_prefix}.f{f.fid}_bps")
+        self._last_tick_ps = sim.now
         self._event = sim.schedule(interval_ps, self._tick)
 
     def track(self, flow) -> None:
@@ -57,19 +90,40 @@ class FlowThroughputSampler:
         self.flows.append(flow)
         self.series[flow] = [0.0] * len(self.times_ps)
         self._last[flow] = flow.bytes_delivered
+        if self._registry is not None:
+            mirror = self._registry.add_series(
+                f"{self._name_prefix}.f{flow.fid}_bps")
+            for t in self.times_ps:
+                mirror.append(t, 0.0)
+            self._mirrors[flow] = mirror
 
-    def _tick(self) -> None:
-        self.times_ps.append(self.sim.now)
+    def _sample(self, elapsed_ps: int) -> None:
+        now = self.sim.now
+        self.times_ps.append(now)
         for flow in self.flows:
             delta = flow.bytes_delivered - self._last[flow]
             self._last[flow] = flow.bytes_delivered
-            self.series[flow].append(delta * 8 * SEC / self.interval_ps)
+            rate = delta * 8 * SEC / elapsed_ps
+            self.series[flow].append(rate)
+            mirror = self._mirrors.get(flow)
+            if mirror is not None:
+                mirror.append(now, rate)
+
+    def _tick(self) -> None:
+        self._sample(self.interval_ps)
+        self._last_tick_ps = self.sim.now
         self._event = self.sim.schedule(self.interval_ps, self._tick)
 
     def stop(self) -> None:
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        """Idempotent; closes the trailing partial interval with its true
+        elapsed time so the final reading is a rate, not a truncation."""
+        if self._event is None:
+            return
+        self._event.cancel()
+        self._event = None
+        elapsed = self.sim.now - self._last_tick_ps
+        if elapsed > 0:
+            self._sample(elapsed)
 
 
 def convergence_time_ps(

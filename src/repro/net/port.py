@@ -71,7 +71,7 @@ class Port:
         "data_queue", "credit_queue", "credit_bucket",
         "_lowprio_queue",
         "_phantom", "_rcp_controller", "_on_transmit", "_on_enqueue",
-        "_pfc", "_pfc_paused", "_up", "_drop_filter",
+        "_pfc", "_pfc_paused", "_up", "_drop_filter", "_obs",
         "stats", "_busy", "_wake_event", "_flags", "_tx_cache",
     )
 
@@ -112,6 +112,7 @@ class Port:
         self._pfc_paused = False
         self._up = True
         self._drop_filter = None
+        self._obs = None
         self.stats = PortStats()
         self._busy = False
         self._wake_event = None
@@ -196,6 +197,22 @@ class Port:
     def on_enqueue(self, value) -> None:
         self._on_enqueue = value
         self._refresh_flags()
+
+    @property
+    def obs(self):
+        """Optional :class:`repro.obs.MetricsRegistry` observing this port.
+
+        Deliberately *not* part of the flags word: the registry reads port
+        and queue statistics at snapshot time instead of hooking the
+        per-packet path, so attaching it must not perturb ``_flags`` (and
+        golden traces).  The only event-driven signal is the transmitter's
+        rare credit-throttle sleep branch, which checks the slot directly.
+        """
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._obs = value
 
     @property
     def pfc(self):
@@ -334,6 +351,9 @@ class Port:
             return
         if head is not None:
             # Only credits wait; sleep until the bucket has refilled.
+            obs = self._obs
+            if obs is not None:
+                obs.credit_throttled += 1
             wait = self.credit_bucket.time_until(head.wire_bytes, now)
             if self._wake_event is not None:
                 self._wake_event.cancel()
@@ -359,6 +379,9 @@ class Port:
                 self._transmit(pkt)
                 return
         if head is not None:
+            obs = self._obs
+            if obs is not None:
+                obs.credit_throttled += 1
             wait = self.credit_bucket.time_until(head.wire_bytes, now)
             if self._wake_event is not None:
                 self._wake_event.cancel()

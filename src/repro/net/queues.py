@@ -104,13 +104,14 @@ class _QueueStats:
     pre-birth interval it never observed.
     """
 
-    __slots__ = ("enqueued", "dropped", "max_bytes", "max_pkts",
+    __slots__ = ("enqueued", "dropped", "ecn_marked", "max_bytes", "max_pkts",
                  "_integral_byte_ps", "_last_change_ps", "_last_bytes",
                  "_birth_ps")
 
     def __init__(self, birth_ps: int = 0):
         self.enqueued = 0
         self.dropped = 0
+        self.ecn_marked = 0
         self.max_bytes = 0
         self.max_pkts = 0
         self._integral_byte_ps = 0
@@ -192,14 +193,17 @@ class DataQueue:
             if (self.ecn_threshold_bytes is not None
                     and self.bytes > self.ecn_threshold_bytes):
                 pkt.ecn_marked = True
+                self.stats.ecn_marked += 1
             elif self._red_kmin is not None and self.bytes > self._red_kmin:
                 if self.bytes >= self._red_kmax:
                     pkt.ecn_marked = True
+                    self.stats.ecn_marked += 1
                 else:
                     frac = (self.bytes - self._red_kmin) / (
                         self._red_kmax - self._red_kmin)
                     if self._red_rng.random() < frac * self._red_pmax:
                         pkt.ecn_marked = True
+                        self.stats.ecn_marked += 1
         self.stats.record(now_ps, self.bytes, len(self._q))
         return True
 

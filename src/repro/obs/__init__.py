@@ -1,0 +1,175 @@
+"""repro.obs — unified metrics, flow-span tracing, and exporters.
+
+One observability plane for every simulation run.  Three layers:
+
+*Registry* — :class:`MetricsRegistry` holds named counters, gauges,
+log-bucketed histograms, and time series; it attaches to a
+:class:`~repro.sim.engine.Simulator` (``sim.metrics``), polls queue/transmit
+statistics from the network's ports on periodic snapshots, and gives every
+flow a :class:`FlowSpan` lifecycle timeline (start → first credit → first
+data → stop → completion, plus credit round-trip samples).
+
+*Activation* — off by default; a run with metrics disabled schedules no
+snapshot events and takes a single ``is None`` branch per instrumentation
+point, so golden traces stay bit-identical.  Turn it on explicitly
+(:meth:`MetricsRegistry.attach`), ambiently (:func:`capture`, used by
+``repro run --metrics`` / ``repro obs``), or process-wide
+(``REPRO_METRICS=1``).  Inside an active scope every
+:meth:`Network.finalize` wires the network into the simulator's registry
+automatically via :func:`maybe_attach`.
+
+*Export* — :mod:`repro.obs.export` writes the registry summary as a JSONL
+event stream, CSV time series, or Prometheus text, and dumps
+:class:`~repro.net.trace.PortTracer` records as pcap-lite JSONL; the
+:mod:`repro.obs.dashboard` renders live sparkline panels during long runs.
+
+Captures nest like :mod:`repro.audit`'s: the :mod:`repro.runtime` scheduler
+opens one per sweep task (in the worker process, if parallel) and ships the
+summary dict back on ``TaskResult.metrics``; an outer CLI capture does not
+double count registries an inner capture already claimed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    empty_summary,
+    format_summary,
+    merge_summaries,
+)
+from repro.obs.spans import FlowSpan
+
+__all__ = [
+    "Counter", "FlowSpan", "Gauge", "Histogram", "MetricsRegistry", "Series",
+    "begin_capture", "capture", "default_interval_ps", "end_capture",
+    "is_active", "maybe_attach",
+    "empty_summary", "format_summary", "merge_summaries",
+    "record_task_summary", "reset_session", "session_summary",
+]
+
+_capture_depth = 0
+_captured: List[MetricsRegistry] = []
+#: Options of the innermost open capture (dashboard stream, tracing flag).
+_opts: List[dict] = []
+#: (label, summary) pairs recorded by the sweep scheduler for CLI reporting.
+_session: List[Tuple[str, dict]] = []
+
+
+def is_active() -> bool:
+    """True when metrics should attach: inside a capture or REPRO_METRICS=1."""
+    if _capture_depth > 0:
+        return True
+    return os.environ.get("REPRO_METRICS", "") in ("1", "true")
+
+
+def default_interval_ps() -> Optional[int]:
+    """Snapshot interval override from ``REPRO_METRICS_INTERVAL_PS``."""
+    raw = os.environ.get("REPRO_METRICS_INTERVAL_PS", "")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return None
+
+
+def maybe_attach(net) -> Optional[MetricsRegistry]:
+    """Attach a registry to ``net`` if metrics are active (else no-op).
+
+    Called by :meth:`repro.topology.network.Network.finalize`.  Reuses the
+    simulator's existing registry so multi-network simulations share one
+    summary, starts periodic snapshots on first attach, and honours the
+    innermost capture's dashboard/trace options.
+    """
+    if not is_active():
+        return None
+    reg = getattr(net.sim, "metrics", None)
+    fresh = reg is None
+    if fresh:
+        reg = MetricsRegistry.attach(net.sim,
+                                     snapshot_interval_ps=default_interval_ps())
+    reg.attach_network(net)
+    opts = _opts[-1] if _opts else {}
+    if opts.get("trace"):
+        reg.trace_network(net)
+    if fresh:
+        if opts.get("dashboard") is not None:
+            from repro.obs.dashboard import Dashboard
+            Dashboard(reg, opts["dashboard"])
+        reg.start_snapshots()
+    return reg
+
+
+def _note_registry(reg: MetricsRegistry) -> None:
+    """Claim an explicitly-attached registry for the open capture, if any."""
+    if _capture_depth > 0 and reg not in _captured:
+        _captured.append(reg)
+
+
+def begin_capture(**opts) -> int:
+    """Open a capture scope; returns a marker for :func:`end_capture`.
+
+    ``opts`` (``dashboard=<stream>``, ``trace=True``) apply to registries
+    created inside this scope.
+    """
+    global _capture_depth
+    _capture_depth += 1
+    _opts.append(opts)
+    return len(_captured)
+
+
+def end_capture(marker: int) -> Tuple[dict, List[MetricsRegistry]]:
+    """Close a scope: finalize its registries, return (summary, registries)."""
+    global _capture_depth
+    scoped = _captured[marker:]
+    del _captured[marker:]
+    _capture_depth = max(0, _capture_depth - 1)
+    if _opts:
+        _opts.pop()
+    return merge_summaries([r.summary() for r in scoped]), scoped
+
+
+class capture:
+    """Context manager over begin/end_capture.
+
+    After exit, ``.summary`` holds the merged summary dict and
+    ``.registries`` the finalized registries (for e.g. pcap-lite export of
+    their tracers).
+    """
+
+    summary: Optional[dict] = None
+
+    def __init__(self, **opts):
+        self._capture_opts = opts
+        self.registries: List[MetricsRegistry] = []
+
+    def __enter__(self) -> "capture":
+        self._marker = begin_capture(**self._capture_opts)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.summary, self.registries = end_capture(self._marker)
+        return False
+
+
+# -- session aggregation (scheduler -> CLI) ---------------------------------
+
+def record_task_summary(label: str, summary: dict) -> None:
+    """Scheduler hook: bank one task's metrics summary for CLI reporting."""
+    _session.append((label, summary))
+
+
+def session_summary() -> dict:
+    """Merged summary over every task summary banked since the last reset."""
+    return merge_summaries([s for _, s in _session])
+
+
+def reset_session() -> None:
+    _session.clear()

@@ -1,0 +1,102 @@
+"""Flow-span tracing: one lifecycle timeline per flow.
+
+A :class:`FlowSpan` records the timestamps the paper's FCT analysis cares
+about — when the flow was created, when it started, when the first credit
+arrived at the sender (ExpressPass), when the first payload byte reached the
+receiver, when it was stopped, and when it completed — plus per-flow credit
+round-trip samples (fed into the registry's ``expresspass.credit_rtt_ps``
+histogram) and the number of Algorithm-1 feedback updates the receiver ran.
+
+Marks are idempotent (first write wins) and each successful mark appends one
+``(t_ps, event, fid)`` record to the registry's event log, which is what the
+JSONL exporter streams out.  Flows carry ``obs_span = None`` when metrics
+are off, so the per-packet cost of tracing is a single attribute check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Event name -> FlowSpan attribute, for the generic :meth:`FlowSpan.mark`.
+_EVENT_ATTR = {
+    "start": "start_ps",
+    "first_credit": "first_credit_ps",
+    "first_data": "first_data_ps",
+    "stop": "stop_ps",
+}
+
+
+class FlowSpan:
+    """Lifecycle timeline of one flow.  See module docstring."""
+
+    __slots__ = ("flow", "fid", "protocol", "size_bytes", "created_ps",
+                 "start_ps", "first_credit_ps", "first_data_ps", "stop_ps",
+                 "finish_ps", "feedback_updates", "_registry")
+
+    def __init__(self, flow, registry):
+        self.flow = flow
+        self.fid = flow.fid
+        self.protocol = type(flow).__name__
+        self.size_bytes = flow.size_bytes
+        self.created_ps = flow.sim.now
+        self.start_ps: Optional[int] = None
+        self.first_credit_ps: Optional[int] = None
+        self.first_data_ps: Optional[int] = None
+        self.stop_ps: Optional[int] = None
+        self.finish_ps: Optional[int] = None
+        self.feedback_updates = 0
+        self._registry = registry
+
+    def mark(self, event: str, t_ps: int) -> None:
+        """Record ``event`` at ``t_ps`` once; later marks are ignored."""
+        attr = _EVENT_ATTR.get(event)
+        if attr is None:
+            raise ValueError(f"unknown span event {event!r}")
+        if getattr(self, attr) is None:
+            setattr(self, attr, t_ps)
+            self._registry.log_event(t_ps, event, self.fid)
+
+    def finish(self, flow) -> None:
+        """Completion: stamp the span, log it, and feed the FCT histogram."""
+        if self.finish_ps is None:
+            self.finish_ps = flow.sim.now
+            reg = self._registry
+            reg.log_event(self.finish_ps, "complete", self.fid)
+            fct = flow.fct_ps
+            if fct is not None:
+                reg.histogram("flow.fct_ps").record(fct)
+
+    def credit_rtt(self, sample_ps: int) -> None:
+        """One credit round-trip sample (credit sent -> data echoed back)."""
+        self._registry.histogram("expresspass.credit_rtt_ps").record(sample_ps)
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def time_to_first_credit_ps(self) -> Optional[int]:
+        if self.start_ps is None or self.first_credit_ps is None:
+            return None
+        return self.first_credit_ps - self.start_ps
+
+    @property
+    def time_to_first_data_ps(self) -> Optional[int]:
+        if self.start_ps is None or self.first_data_ps is None:
+            return None
+        return self.first_data_ps - self.start_ps
+
+    def as_dict(self) -> dict:
+        return {
+            "fid": self.fid,
+            "protocol": self.protocol,
+            "size_bytes": self.size_bytes,
+            "created_ps": self.created_ps,
+            "start_ps": self.start_ps,
+            "first_credit_ps": self.first_credit_ps,
+            "first_data_ps": self.first_data_ps,
+            "stop_ps": self.stop_ps,
+            "finish_ps": self.finish_ps,
+            "feedback_updates": self.feedback_updates,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlowSpan #{self.fid} {self.protocol} "
+                f"start={self.start_ps} finish={self.finish_ps}>")

@@ -26,6 +26,8 @@ Environment variables (all optional) seed the defaults:
 ``REPRO_PROFILE``           "1" profiles every sweep task
                             (:mod:`repro.perf.profile`); task results then
                             carry per-run profile summaries
+``REPRO_METRICS``           "1" meters every sweep task (:mod:`repro.obs`);
+                            task results then carry per-run metrics summaries
 ==========================  =====================================================
 """
 
@@ -76,6 +78,9 @@ class RuntimeConfig:
     #: Profile every task's simulations (:mod:`repro.perf.profile`);
     #: profile summaries ride on the TaskResults.
     profile: bool = False
+    #: Meter every task's simulations (:mod:`repro.obs` counters, series,
+    #: flow spans); metrics summaries ride on the TaskResults.
+    metrics: bool = False
 
     @classmethod
     def from_env(cls, environ=None) -> "RuntimeConfig":
@@ -104,6 +109,7 @@ class RuntimeConfig:
             max_cache_entries=_int("REPRO_CACHE_MAX_ENTRIES", 4096),
             audit=env.get("REPRO_AUDIT", "") in ("1", "true"),
             profile=env.get("REPRO_PROFILE", "") in ("1", "true"),
+            metrics=env.get("REPRO_METRICS", "") in ("1", "true"),
         )
 
     def resolved_cache_dir(self) -> pathlib.Path:

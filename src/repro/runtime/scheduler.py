@@ -54,6 +54,9 @@ class TaskResult:
     #: Per-task profile summary dict when the run executed under
     #: ``RuntimeConfig.profile``; ``None`` for unprofiled or cached tasks.
     profile: Optional[dict] = None
+    #: Per-task metrics summary dict when the run executed under
+    #: ``RuntimeConfig.metrics``; ``None`` for unmetered or cached tasks.
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -71,18 +74,18 @@ class SweepError(RuntimeError):
 
 
 def _call(spec: TaskSpec, audit_enabled: bool = False,
-          profile_enabled: bool = False) -> tuple:
+          profile_enabled: bool = False, metrics_enabled: bool = False) -> tuple:
     """Worker entry point (module-level so it pickles).
 
-    Returns ``(value, audit_summary, profile_summary)``; each summary is
-    ``None`` unless the task ran under the matching ``RuntimeConfig`` knob.
-    Capturing happens *here*, in whichever process executes the task, so
-    parallel workers audit/profile their own simulations and ship
-    plain-dict results back.
+    Returns ``(value, audit_summary, profile_summary, metrics_summary)``;
+    each summary is ``None`` unless the task ran under the matching
+    ``RuntimeConfig`` knob.  Capturing happens *here*, in whichever process
+    executes the task, so parallel workers audit/profile/meter their own
+    simulations and ship plain-dict results back.
     """
-    if not audit_enabled and not profile_enabled:
-        return spec.call(), None, None
-    cap = session = None
+    if not audit_enabled and not profile_enabled and not metrics_enabled:
+        return spec.call(), None, None, None
+    cap = session = ocap = None
     with contextlib.ExitStack() as stack:
         if audit_enabled:
             from repro import audit
@@ -90,10 +93,14 @@ def _call(spec: TaskSpec, audit_enabled: bool = False,
         if profile_enabled:
             from repro.perf import profile as perf_profile
             session = stack.enter_context(perf_profile.profiled())
+        if metrics_enabled:
+            from repro import obs
+            ocap = stack.enter_context(obs.capture())
         value = spec.call()
     return (value,
             cap.summary if cap is not None else None,
-            session.report.as_dict() if session is not None else None)
+            session.report.as_dict() if session is not None else None,
+            ocap.summary if ocap is not None else None)
 
 
 def _worker_init() -> None:
@@ -115,6 +122,13 @@ def _bank_profile(label: str, summary: Optional[dict]) -> None:
     if summary is not None:
         from repro.perf import profile as perf_profile
         perf_profile.record_task_summary(label, summary)
+
+
+def _bank_metrics(label: str, summary: Optional[dict]) -> None:
+    """Feed a task's metrics summary to the session aggregate (CLI report)."""
+    if summary is not None:
+        from repro import obs
+        obs.record_task_summary(label, summary)
 
 
 def _is_pickling_error(exc: BaseException) -> bool:
@@ -186,8 +200,8 @@ def _run_serial(specs, indices, results, config, tel, cache, keys) -> None:
             tel.task_started(i, spec.label, attempts)
             start = time.monotonic()
             try:
-                value, audit_summary, profile_summary = _call(
-                    spec, config.audit, config.profile)
+                value, audit_summary, profile_summary, metrics_summary = _call(
+                    spec, config.audit, config.profile, config.metrics)
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 if attempts <= config.retries:
@@ -203,9 +217,11 @@ def _run_serial(specs, indices, results, config, tel, cache, keys) -> None:
             results[i] = TaskResult(i, spec.label, value=value,
                                     attempts=attempts, wall_s=wall,
                                     audit=audit_summary,
-                                    profile=profile_summary)
+                                    profile=profile_summary,
+                                    metrics=metrics_summary)
             _bank_audit(spec.label, audit_summary)
             _bank_profile(spec.label, profile_summary)
+            _bank_metrics(spec.label, metrics_summary)
             _store(cache, keys, i, spec, value, wall)
             tel.task_done(i, spec.label, wall)
             break
@@ -227,7 +243,8 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
     def submit(i: int) -> None:
         attempts[i] += 1
         tel.task_started(i, specs[i].label, attempts[i])
-        fut = pool.submit(_call, specs[i], config.audit, config.profile)
+        fut = pool.submit(_call, specs[i], config.audit, config.profile,
+                          config.metrics)
         inflight[fut] = (i, time.monotonic())
 
     def record_failure(i: int, error: str, retryable: bool = True) -> None:
@@ -260,7 +277,8 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                     continue
                 i, t_submit = inflight.pop(fut)
                 try:
-                    value, audit_summary, profile_summary = fut.result()
+                    (value, audit_summary, profile_summary,
+                     metrics_summary) = fut.result()
                 except BrokenProcessPool as exc:
                     tel.degraded(f"worker pool broke: {exc}")
                     leftovers = [j for j in attempts if results[j] is None]
@@ -283,9 +301,11 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                 results[i] = TaskResult(i, specs[i].label, value=value,
                                         attempts=attempts[i], wall_s=wall,
                                         audit=audit_summary,
-                                        profile=profile_summary)
+                                        profile=profile_summary,
+                                        metrics=metrics_summary)
                 _bank_audit(specs[i].label, audit_summary)
                 _bank_profile(specs[i].label, profile_summary)
+                _bank_metrics(specs[i].label, metrics_summary)
                 _store(cache, keys, i, specs[i], value, wall)
                 tel.task_done(i, specs[i].label, wall)
     finally:

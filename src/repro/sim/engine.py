@@ -124,6 +124,9 @@ class Simulator:
         #: Optional :class:`repro.perf.profile.Profiler`; when set the run
         #: loop counts and wall-clock-samples every callback.
         self.profiler = None
+        #: Optional :class:`repro.obs.MetricsRegistry`; installed by
+        #: ``MetricsRegistry.attach``, consulted by ``Flow.__init__``.
+        self.metrics = None
         hook = on_simulator_created
         if hook is not None:
             hook(self)

@@ -92,12 +92,17 @@ class Network:
 
         If runtime auditing is active (``REPRO_AUDIT=1``, ``--audit``, or an
         open :func:`repro.audit.capture` scope), this also attaches the
-        invariant observers to every port — a no-op otherwise.
+        invariant observers to every port; likewise metrics
+        (``REPRO_METRICS=1``, ``--metrics``, :func:`repro.obs.capture`)
+        attaches the simulator's :class:`~repro.obs.MetricsRegistry`.  Both
+        are no-ops otherwise.
         """
         build_ecmp_tables(self.nodes, [h.id for h in self.hosts])
         self._finalized = True
         from repro.audit import maybe_attach
         maybe_attach(self)
+        from repro.obs import maybe_attach as _obs_attach
+        _obs_attach(self)
 
     # -- link failures (§3.1: "exclude links that fail unidirectionally") ----
     def fail_link(self, a, b, direction: str = "both") -> None:

@@ -74,6 +74,12 @@ class Flow:
         auditor = getattr(self.sim, "auditor", None)
         if auditor is not None:
             auditor.register_flow(self)
+        #: :class:`repro.obs.FlowSpan` when metrics are on, else None — so
+        #: instrumentation points cost one attribute check per event.
+        self.obs_span = None
+        metrics = getattr(self.sim, "metrics", None)
+        if metrics is not None:
+            metrics.register_flow(self)
 
     # -- identity -----------------------------------------------------------
     def path_hash(self, pkt: Packet) -> int:
@@ -98,6 +104,8 @@ class Flow:
     # -- lifecycle ----------------------------------------------------------
     def _start_event(self) -> None:
         self._started = True
+        if self.obs_span is not None:
+            self.obs_span.mark("start", self.sim.now)
         self.begin()
 
     def begin(self) -> None:
@@ -110,10 +118,14 @@ class Flow:
         Subclasses extend this to cancel their own timers.
         """
         self._start_evt.cancel()
+        if self.obs_span is not None:
+            self.obs_span.mark("stop", self.sim.now)
 
     def _complete(self) -> None:
         if self.finish_ps is None:
             self.finish_ps = self.sim.now
+            if self.obs_span is not None:
+                self.obs_span.finish(self)
             for callback in self.on_complete:
                 callback(self)
 
@@ -324,6 +336,8 @@ class WindowFlow(Flow):
         if pkt.kind != PacketKind.DATA:
             return
         if pkt.seq == self._rcv_expected:
+            if self._rcv_expected == 0 and self.obs_span is not None:
+                self.obs_span.mark("first_data", self.sim.now)
             self.bytes_delivered += pkt.payload_bytes
             self._rcv_expected += 1
             while self._rcv_expected in self._rcv_ooo:
@@ -543,6 +557,8 @@ class RateFlow(Flow):
         if pkt.kind != PacketKind.DATA:
             return
         if pkt.seq == self._rcv_expected:
+            if self._rcv_expected == 0 and self.obs_span is not None:
+                self.obs_span.mark("first_data", self.sim.now)
             self.bytes_delivered += pkt.payload_bytes
             self._rcv_expected += 1
             while self._rcv_expected in self._rcv_ooo:

@@ -65,6 +65,16 @@ class TestCdfTable:
         assert "50.0" in text and "99.0" in text
         assert "3" in text
 
+    def test_unit_suffix(self):
+        text = cdf_table([10, 20], percentiles=(50,), unit="us")
+        assert text.splitlines()[1].endswith("us")
+
+    def test_percentiles_monotone(self):
+        text = cdf_table(list(range(1, 101)), percentiles=(10, 50, 90))
+        values = [float(line.split()[1])
+                  for line in text.splitlines()[1:]]
+        assert values == sorted(values)
+
 
 class TestTimeline:
     def test_shared_scale(self):
@@ -80,3 +90,34 @@ class TestTimeline:
 
     def test_empty(self):
         assert timeline({}) == ""
+
+    def test_ascii_only(self):
+        out = timeline({"a": [0, 5, 10]}, ascii_only=True)
+        assert "█" not in out and out.rstrip("|").endswith("@")
+
+    def test_explicit_hi_pins_scale(self):
+        # with hi=20 a peak of 10 renders at half scale, not full
+        out = timeline({"a": [0, 10]}, hi=20)
+        assert "█" not in out
+
+    def test_labels_aligned(self):
+        out = timeline({"a": [1], "long": [1]})
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty_series_renders_blank_row(self):
+        out = timeline({"a": [], "b": [1]})
+        assert out.splitlines()[0] == "a ||"
+
+
+class TestSparklineScale:
+    def test_explicit_bounds_override_data(self):
+        # same data, wider scale -> lower blocks
+        narrow = sparkline([5], lo=0, hi=5)
+        wide = sparkline([5], lo=0, hi=100)
+        assert narrow == "█" and wide != "█"
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_ascii_never_emits_blocks(self, xs):
+        assert "█" not in sparkline(xs, ascii_only=True)
