@@ -1,0 +1,65 @@
+"""Chaos recovery: time-to-recover goodput after an agg–core link flap.
+
+A k=4 fat tree carries 8 persistent inter-pod ExpressPass flows when the
+``agg0_0``–``core0`` link goes down for 4 ms and comes back.  Across seeds
+(swept through :mod:`repro.runtime`), every run must recover at least 90 %
+of the pre-fault aggregate goodput within the measurement window, with no
+stalled flow and zero audit violations — injected drops are budgeted, so a
+clean pass means conservation held exactly despite the fault.
+
+The second benchmark removes the routing safety net (reconvergence slower
+than the run): recovery then comes solely from the transport watchdog
+re-hashing dead paths, which is the machinery under test.
+"""
+
+from repro.chaos.scenarios import RECOVERY_FRACTION, run_point
+from repro.experiments.runner import ExperimentResult, run_sweep
+from repro.sim.units import MS
+from benchmarks.conftest import emit, scaled
+
+
+def _sweep(seeds, **common):
+    rows = run_sweep(
+        run_point,
+        [{"scenario": "link-flap", "seed": s} for s in seeds],
+        common=common,
+        name="bench-chaos-recovery",
+        label=lambda p: f"flap/seed{p['seed']}",
+    )
+    return ExperimentResult(
+        name="chaos recovery: agg0_0-core0 link flap",
+        columns=["seed", "pre_gbps", "low_gbps", "post_gbps",
+                 "recovered_frac", "recovery_ms", "stalled", "violations",
+                 "rehashes", "recoveries", "ok"],
+        rows=rows,
+        meta={"ok": all(r["ok"] for r in rows)},
+    )
+
+
+def _check(result):
+    for row in result.rows:
+        assert row["violations"] == 0, row
+        assert row["stalled"] == 0, row
+        assert row["recovery_ms"] >= 0, row
+        assert row["recovered_frac"] >= RECOVERY_FRACTION, row
+        # The fault must actually bite: goodput dips below the recovery bar.
+        assert row["low_gbps"] < RECOVERY_FRACTION * row["pre_gbps"], row
+
+
+def test_chaos_recovery_link_flap(once):
+    seeds = range(1, 1 + scaled(3))
+    result = once(_sweep, seeds)
+    emit(result)
+    _check(result)
+
+
+def test_chaos_recovery_without_reconvergence(once):
+    # Routing never reconverges within the run: flows must save themselves
+    # by detecting the dead path and re-hashing onto a live core.
+    seeds = range(1, 1 + scaled(2))
+    result = once(_sweep, seeds, reconverge_delay_ps=100 * MS)
+    result.name += " (no routing reconvergence)"
+    emit(result)
+    _check(result)
+    assert all(r["recoveries"] > 0 for r in result.rows), \
+        "watchdog never fired: recovery must come from path re-hash"

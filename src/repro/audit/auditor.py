@@ -241,6 +241,18 @@ class NetworkAuditor:
         self._flows.append(flow)
         self.report.count("flows")
 
+    def on_credit_rate_change(self, port, rate_bps: int) -> None:
+        """Track an *authorized* credit-meter reconfiguration (chaos
+        ``credit_meter`` faults).  The mirror follows the configured rate —
+        the injected misconfiguration itself is budgeted fault-plane
+        behaviour, while a port transmitting faster than even its (mis)
+        configured meter allows is still a violation."""
+        probe = self._ports.get(id(port))
+        if probe is None:
+            return
+        probe.mirror.set_rate(rate_bps, self.sim.now)
+        self.report.count("credit_rate_reconfigs")
+
     def flow_links(self, flow) -> Tuple[Set, Set]:
         links = self._flow_links.get(flow.fid)
         if links is None:
@@ -264,8 +276,26 @@ class NetworkAuditor:
     def _check_flow(self, flow, drained: bool) -> None:
         subject = repr(flow)
         now = self.sim.now
+        chaos = getattr(self.sim, "chaos", None)
         data_links, credit_links = self._flow_links.get(flow.fid,
                                                         (set(), set()))
+        if chaos is not None and chaos.topology_changed:
+            # A flow that lived through a routing reconvergence took one
+            # path before the change and another after it; the whole-run
+            # set comparison below cannot distinguish that from a genuine
+            # asymmetric hash, so the check is skipped (and counted) when
+            # the fault plan changed the topology.  Loss/jitter/meter-only
+            # plans keep it fully armed.
+            data_links = credit_links = set()
+            self.report.count("path_symmetry_skipped_chaos")
+        elif data_links and credit_links:
+            # Links an active fault plan touched are excused: during a
+            # blackhole window one direction can legitimately cross a link
+            # whose mirror is dead (both orientations are excused).
+            if chaos is not None and chaos.affected_links:
+                excused = chaos.affected_links
+                data_links = {l for l in data_links if l not in excused}
+                credit_links = {l for l in credit_links if l not in excused}
         if data_links and credit_links:
             reversed_credit = {(b, a) for (a, b) in credit_links}
             if data_links != reversed_credit:
@@ -280,13 +310,16 @@ class NetworkAuditor:
         # legitimately has credits on the wire.
         if drained and hasattr(flow, "credits_sent"):
             sent = flow.credits_sent
-            accounted = flow.credits_received + flow.credit_drops
+            injected = (chaos.injected_credit_drops(flow.fid)
+                        if chaos is not None else 0)
+            accounted = flow.credits_received + flow.credit_drops + injected
             if sent != accounted:
+                budget = (f" + {injected} chaos-injected" if injected else "")
                 self.report.add(
                     "credit-conservation", subject, now,
                     f"{sent} credits sent but only {accounted} accounted "
                     f"({flow.credits_received} received + "
-                    f"{flow.credit_drops} dropped) — "
+                    f"{flow.credit_drops} dropped{budget}) — "
                     f"{sent - accounted} lost silently")
         if flow.size_bytes is not None:
             if flow.completed and flow.bytes_delivered != flow.size_bytes:

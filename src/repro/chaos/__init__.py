@@ -1,0 +1,97 @@
+"""repro.chaos — scheduled fault plans, failure recovery, chaos harness.
+
+Three ways in:
+
+*Explicit* — build a :class:`FaultPlan`, hand it to a
+:class:`ChaosController` after the network is finalized::
+
+    plan = FaultPlan(name="flap", seed=1, events=(
+        LinkFlap(t_ps=5 * MS, a="agg0_0", b="core0", down_ps=2 * MS),))
+    ChaosController(sim, topo.net, plan)
+    sim.run(until=...)
+    print(sim.chaos.summary())
+
+*Ambient* — export ``REPRO_CHAOS=/path/to/plan.json`` and every
+:meth:`Network.finalize` in the process attaches the plan automatically
+(``REPRO_CHAOS_SEED`` overrides the plan's seed; ``REPRO_CHAOS_LOG=1``
+narrates actions on stderr).  This is how an unmodified experiment runs
+under fault injection.
+
+*Scenario harness* — ``python -m repro chaos <scenario>`` runs a canned
+fault scenario under the audit plane and reports recovery metrics; see
+:mod:`repro.chaos.scenarios`.
+
+Injected drops are *budgeted*: the controller accounts every packet it eats
+per flow, the auditor subtracts those budgets, so an audited chaos run
+passes clean while any drop the chaos plane did **not** inject still fails
+the conservation checks.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.gilbert import GilbertElliott
+from repro.chaos.plan import (
+    CreditMeterFault,
+    FaultEvent,
+    FaultPlan,
+    HostJitterFault,
+    LinkDown,
+    LinkFlap,
+    LinkUp,
+    LossBurst,
+    SwitchBlackout,
+    event_from_dict,
+)
+
+__all__ = [
+    "ChaosController", "CreditMeterFault", "FaultEvent", "FaultPlan",
+    "GilbertElliott", "HostJitterFault", "LinkDown", "LinkFlap", "LinkUp",
+    "LossBurst", "SwitchBlackout", "event_from_dict", "is_active",
+    "maybe_attach",
+]
+
+#: Plan cache for the ambient path keyed on (path, mtime_ns): a sweep of N
+#: tasks in one process parses the JSON once, while an edited plan file is
+#: picked up without a restart.
+_plan_cache: dict = {}
+
+
+def is_active() -> bool:
+    """True when ``REPRO_CHAOS`` names a fault-plan file."""
+    return bool(os.environ.get("REPRO_CHAOS", ""))
+
+
+def _load_env_plan(path: str) -> FaultPlan:
+    key = (path, os.stat(path).st_mtime_ns)
+    plan = _plan_cache.get(key)
+    if plan is None:
+        plan = FaultPlan.load(path)
+        _plan_cache.clear()
+        _plan_cache[key] = plan
+    seed_override = os.environ.get("REPRO_CHAOS_SEED", "")
+    if seed_override:
+        plan = plan.with_seed(int(seed_override))
+    return plan
+
+
+def maybe_attach(net) -> Optional[ChaosController]:
+    """Attach the ambient fault plan to ``net`` if one is configured.
+
+    Called by :meth:`repro.topology.network.Network.finalize`.  Reuses the
+    simulator's existing controller so multi-network simulations share one
+    plan and one injected-drop ledger.  No-op without ``REPRO_CHAOS``.
+    """
+    path = os.environ.get("REPRO_CHAOS", "")
+    if not path:
+        return None
+    controller = getattr(net.sim, "chaos", None)
+    if controller is not None:
+        return controller.attach_network(net)
+    plan = _load_env_plan(path)
+    log = sys.stderr if os.environ.get("REPRO_CHAOS_LOG", "") in ("1", "true") else None
+    return ChaosController(net.sim, net, plan, log=log)

@@ -1,0 +1,93 @@
+"""Gilbert–Elliott bursty loss model.
+
+A two-state Markov chain: GOOD with loss probability ``loss_good`` (usually
+0) and BAD with ``loss_bad`` (usually 1).  Per packet the chain first makes
+one transition step — GOOD→BAD with ``p_enter_bad``, BAD→GOOD with
+``p_exit_bad`` — then the packet is lost with the current state's loss
+probability.  The stationary loss rate and geometric burst-length
+distribution are closed-form, which is what the chaos statistics tests pin:
+
+* ``P(bad) = p_enter / (p_enter + p_exit)``
+* ``E[loss] = P(bad)·loss_bad + P(good)·loss_good``
+* ``E[burst length] = 1 / p_exit``  (consecutive BAD steps)
+
+The model owns no randomness — it consumes a dedicated named RNG stream
+handed in by the chaos controller, so an active loss episode never perturbs
+any other stream (credit jitter, host delays) and runs stay bit-identical
+per (plan, seed).
+"""
+
+from __future__ import annotations
+
+
+class GilbertElliott:
+    """One burst-loss process; drive with :meth:`step` per candidate packet."""
+
+    __slots__ = ("p_enter_bad", "p_exit_bad", "loss_good", "loss_bad",
+                 "bad", "steps", "bad_steps", "bursts", "drops", "_rng")
+
+    def __init__(self, rng, p_enter_bad: float, p_exit_bad: float,
+                 loss_good: float = 0.0, loss_bad: float = 1.0):
+        if not 0.0 <= p_enter_bad <= 1.0:
+            raise ValueError("p_enter_bad must be in [0, 1]")
+        if not 0.0 < p_exit_bad <= 1.0:
+            raise ValueError("p_exit_bad must be in (0, 1] (bursts must end)")
+        for name, p in (("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self._rng = rng
+        self.p_enter_bad = p_enter_bad
+        self.p_exit_bad = p_exit_bad
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+        self.steps = 0
+        self.bad_steps = 0
+        self.bursts = 0
+        self.drops = 0
+
+    def step(self) -> bool:
+        """Advance one packet through the chain; True means *drop it*."""
+        self.steps += 1
+        if self.bad:
+            if self._rng.random() < self.p_exit_bad:
+                self.bad = False
+        elif self._rng.random() < self.p_enter_bad:
+            self.bad = True
+            self.bursts += 1
+        loss_p = self.loss_bad if self.bad else self.loss_good
+        if self.bad:
+            self.bad_steps += 1
+        if loss_p >= 1.0:
+            dropped = True
+        elif loss_p <= 0.0:
+            dropped = False
+        else:
+            dropped = self._rng.random() < loss_p
+        if dropped:
+            self.drops += 1
+        return dropped
+
+    # -- closed-form expectations (for the statistics tests) -----------------
+    @property
+    def stationary_bad(self) -> float:
+        total = self.p_enter_bad + self.p_exit_bad
+        return self.p_enter_bad / total if total else 0.0
+
+    @property
+    def expected_loss_rate(self) -> float:
+        pb = self.stationary_bad
+        return pb * self.loss_bad + (1.0 - pb) * self.loss_good
+
+    @property
+    def expected_burst_len(self) -> float:
+        return 1.0 / self.p_exit_bad
+
+    # -- measured statistics --------------------------------------------------
+    @property
+    def observed_loss_rate(self) -> float:
+        return self.drops / self.steps if self.steps else 0.0
+
+    @property
+    def observed_burst_len(self) -> float:
+        return self.bad_steps / self.bursts if self.bursts else 0.0

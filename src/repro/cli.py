@@ -185,6 +185,31 @@ def main(argv=None) -> int:
     cachep = sub.add_parser(
         "cache", help="inspect or clear the experiment result cache")
     cachep.add_argument("action", choices=("stats", "clear"))
+    chaosp = sub.add_parser(
+        "chaos",
+        help="run a fault-injection scenario on a k=4 fat tree under the "
+             "audit plane and report recovery metrics; exit 1 on a stalled "
+             "flow, an audit violation, or goodput recovery below 90%%")
+    chaosp.add_argument("scenario",
+                        help="scenario name (see 'chaos list'), or 'list'")
+    chaosp.add_argument("--seed", type=int, default=1,
+                        help="fault-plan / simulation seed (default 1)")
+    chaosp.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                        help="run the scenario once per seed (overrides "
+                             "--seed); seeds are swept via repro.runtime")
+    chaosp.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="override a scenario parameter, e.g. "
+                             "duration_ps or reconverge_delay_ps")
+    chaosp.add_argument("--json", action="store_true",
+                        help="emit rows as JSON instead of a table")
+    chaosp.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="sweep seeds on N worker processes")
+    chaosp.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache for this run")
+    chaosp.add_argument("--emit-plan", default=None, metavar="FILE",
+                        help="write the scenario's fault plan as JSON to "
+                             "FILE (usable via REPRO_CHAOS) and exit")
     args = parser.parse_args(argv)
 
     if args.command == "cache":
@@ -202,6 +227,58 @@ def main(argv=None) -> int:
         else:
             removed = cache.clear()
             print(f"removed {removed} entries from {cache.directory}")
+        return 0
+
+    if args.command == "chaos":
+        from repro.chaos import scenarios as chaos_scenarios
+        if args.scenario == "list":
+            for name in chaos_scenarios.SCENARIOS:
+                print(name)
+            return 0
+        if args.scenario not in chaos_scenarios.SCENARIOS:
+            parser.error(
+                f"unknown chaos scenario {args.scenario!r}; "
+                f"try: {', '.join(chaos_scenarios.SCENARIOS)}")
+        overrides = {}
+        for item in args.set:
+            if "=" not in item:
+                parser.error(f"--set expects KEY=VALUE, got {item!r}")
+            key, _, raw = item.partition("=")
+            overrides[key] = _parse_value(raw)
+        if args.emit_plan:
+            plan_kwargs = {k: overrides[k] for k in
+                           ("fault_ps", "duration_ps", "reconverge_delay_ps")
+                           if k in overrides}
+            plan = chaos_scenarios.plan_for(args.scenario, seed=args.seed,
+                                            **plan_kwargs)
+            plan.save(args.emit_plan)
+            print(f"wrote fault plan for {args.scenario!r} to "
+                  f"{args.emit_plan}")
+            return 0
+        seeds = None
+        if args.seeds:
+            seeds = [int(s) for s in args.seeds.split(",") if s]
+        config_overrides = {}
+        if args.parallel is not None:
+            config_overrides["parallel"] = args.parallel
+        if args.no_cache:
+            config_overrides["cache_enabled"] = False
+        with runtime.using(**config_overrides):
+            result = chaos_scenarios.run(scenario=args.scenario,
+                                         seed=args.seed, seeds=seeds,
+                                         **overrides)
+        if args.json:
+            print(json.dumps({"name": result.name, "rows": result.rows,
+                              "meta": result.meta}, indent=2, default=str))
+        else:
+            print(format_table(result))
+        if not result.meta["ok"]:
+            bad = [r for r in result.rows if not r["ok"]]
+            print(f"chaos: FAILED — {len(bad)} of {len(result.rows)} run(s) "
+                  f"stalled, violated an invariant, or recovered below "
+                  f"{chaos_scenarios.RECOVERY_FRACTION:.0%} goodput",
+                  file=sys.stderr)
+            return 1
         return 0
 
     registry = _registry()

@@ -28,7 +28,7 @@ class CreditFeedbackControl:
     """One flow's Algorithm-1 state."""
 
     __slots__ = ("params", "max_rate", "cur_rate", "w", "_prev_increasing",
-                 "updates", "increases", "decreases")
+                 "updates", "increases", "decreases", "resets")
 
     def __init__(self, params: ExpressPassParams, max_rate: float):
         if max_rate <= 0:
@@ -44,6 +44,23 @@ class CreditFeedbackControl:
         self.updates = 0
         self.increases = 0
         self.decreases = 0
+        self.resets = 0
+
+    def reset(self) -> None:
+        """Restart the controller from its initial state (path recovery).
+
+        Feedback accumulated on a dead path says nothing about the new one:
+        the rate returns to α·max_rate and the aggressiveness factor to
+        w_init, exactly as if the flow had just started.  Cumulative
+        update/increase/decrease counters are preserved for reporting.
+        """
+        if self.params.naive:
+            self.cur_rate = self.max_rate
+        else:
+            self.cur_rate = self.params.initial_rate_fraction * self.max_rate
+        self.w = self.params.w_init
+        self._prev_increasing = False
+        self.resets += 1
 
     @property
     def ceiling(self) -> float:

@@ -112,6 +112,12 @@ class ExpressPassFlow(Flow):
         # resolutions below this sequence number are discarded.
         self._loss_cutoff_seq = 0
         self._srtt_ps: Optional[float] = None
+        # Dead-path watchdog: consecutive feedback updates in which *every*
+        # resolved credit was lost.  Congestion caps out near target_loss;
+        # only a broken path (failed link, blackhole window outliving
+        # reconvergence, misrouted ECMP bucket) sustains 100 % loss.
+        self._dead_updates = 0
+        self.path_recoveries = 0
         self._rng = self.sim.rng("expresspass")
 
     # ------------------------------------------------------------------ sender
@@ -389,6 +395,18 @@ class ExpressPassFlow(Flow):
             else:
                 break
         if sent > 0:
+            if dropped >= sent:
+                self._dead_updates += 1
+            else:
+                self._dead_updates = 0
+            threshold = self.params.recovery_dead_updates
+            if threshold and self._dead_updates >= threshold:
+                # Total loss, sustained: this is a dead path, and cutting
+                # the rate again (Algorithm 1's only move) cannot fix it.
+                # Re-hash onto another path and restart the controller.
+                self._recover_path()
+                self._update_event = self.sim.schedule(period, self._feedback_update)
+                return
             # In the sub-credit-per-RTT regime a period's sample is a small
             # handful of credits and a raw #dropped/#sent is a coin flip
             # that can starve slow flows outright (a single dropped credit
@@ -414,6 +432,31 @@ class ExpressPassFlow(Flow):
             if self.obs_span is not None:
                 self.obs_span.feedback_updates += 1
         self._update_event = self.sim.schedule(period, self._feedback_update)
+
+    def _recover_path(self) -> None:
+        """Dead-path recovery: sustained 100 % credit loss despite rate cuts.
+
+        Moves the flow to a different ECMP path (the shared symmetric hash
+        moves credits and data together, so §3.1 symmetry holds across the
+        switch), restarts Algorithm 1 from its initial rate, and discards
+        every piece of feedback state tied to the old path — echoes of
+        credits sent into the black hole must not feed the new controller.
+        """
+        self._dead_updates = 0
+        self.path_recoveries += 1
+        self.rehash_path()
+        self.feedback.reset()
+        self._epochs.clear()
+        self._epoch_start_seq = self._credit_seq
+        self._loss_cutoff_seq = self._credit_seq
+        self._expected_echo = self._credit_seq
+        self._credit_sent_ts.clear()
+        if self.obs_span is not None:
+            self.obs_span.mark("path_recovery", self.sim.now)
+        metrics = getattr(self.sim, "metrics", None)
+        if metrics is not None:
+            metrics.counter("transport.path_recoveries").inc()
+            metrics.log_event(self.sim.now, "path_recovery", self.fid)
 
     # ---------------------------------------------------------------- cleanup
     def stop(self) -> None:

@@ -43,6 +43,13 @@ class ExpressPassParams:
     # coin flip; a credit-count window adapts its timescale to the flow's own
     # rate (short for fast flows, smoothing for slow ones).
     loss_window: int = 16
+    # Path-failure recovery: after this many consecutive *dead* feedback
+    # updates (every resolved credit in the period was lost — total
+    # blackout, not mere congestion) the receiver re-hashes the flow onto a
+    # different ECMP path and resets Algorithm 1 to its initial rate.
+    # Congestion never looks like this (target_loss keeps drops partial), so
+    # the watchdog is inert on healthy fabrics.  0 disables recovery.
+    recovery_dead_updates: int = 3
 
     def __post_init__(self):
         if not 0 < self.initial_rate_fraction <= 1:
@@ -53,6 +60,8 @@ class ExpressPassParams:
             raise ValueError("target_loss must be in [0, 1)")
         if self.jitter < 0 or self.jitter > 1:
             raise ValueError("jitter fraction must be in [0, 1]")
+        if self.recovery_dead_updates < 0:
+            raise ValueError("recovery_dead_updates must be >= 0 (0 disables)")
 
     def with_alpha(self, alpha: float, w_init: float = None) -> "ExpressPassParams":
         """Convenience for the Fig 8/18 sweeps: vary α (and optionally w_init)."""

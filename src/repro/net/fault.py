@@ -49,9 +49,8 @@ class LossInjector:
         self.rng = rng
         self.seen = 0
         self.dropped = 0
-        if port.drop_filter is not None:
-            raise RuntimeError(f"{port.name} already has a drop filter")
-        port.drop_filter = self._filter
+        self._attached = True
+        port.add_drop_filter(self._filter)
 
     def _filter(self, pkt: Packet) -> bool:
         """Port hook: True = discard the packet."""
@@ -73,5 +72,9 @@ class LossInjector:
         return drop
 
     def detach(self) -> None:
-        """Remove the injector; the port behaves normally again."""
-        self.port.drop_filter = None
+        """Remove this injector's filter only — other filters installed on
+        the port (more injectors, chaos faults) stay in place.  Idempotent.
+        """
+        if self._attached:
+            self._attached = False
+            self.port.remove_drop_filter(self._filter)

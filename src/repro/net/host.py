@@ -39,21 +39,36 @@ class HostDelayModel:
         z_9999 = 3.7190  # standard normal quantile at 0.9999
         self._sigma = math.log(p9999_ps / median_ps) / z_9999
         self._rng = rng
+        self._scale = 1.0
 
     def bind(self, rng) -> None:
         self._rng = rng
 
+    def set_scale(self, factor: float) -> None:
+        """Multiply sampled delays (and the clip) by ``factor``.
+
+        Models a host-side jitter spike — a CPU-starved SoftNIC whose
+        credit-processing latency temporarily balloons (Fig 14a's tail,
+        chaos ``host_jitter`` faults).  ``1.0`` restores nominal behaviour.
+        The underlying RNG stream is consumed identically at every scale,
+        so toggling a spike never desynchronises other streams.
+        """
+        if factor <= 0:
+            raise ValueError("delay scale must be positive")
+        self._scale = factor
+
     def sample(self) -> int:
         """Draw one processing delay in picoseconds."""
         if self._rng is None:
-            return self.median_ps
+            return int(self.median_ps * self._scale)
         value = int(self._rng.lognormvariate(self._mu, self._sigma))
-        return min(max(value, 0), self.max_delay_ps)
+        value = min(max(value, 0), self.max_delay_ps)
+        return int(value * self._scale)
 
     @property
     def spread_ps(self) -> int:
         """∆d_host: the worst-case minus best-case processing delay."""
-        return self.max_delay_ps
+        return int(self.max_delay_ps * self._scale)
 
     @classmethod
     def constant(cls, delay_ps: int) -> "HostDelayModel":
@@ -64,6 +79,7 @@ class HostDelayModel:
         model._mu = 0.0
         model._sigma = 0.0
         model._rng = None
+        model._scale = 1.0
         return model
 
 

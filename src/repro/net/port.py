@@ -71,7 +71,7 @@ class Port:
         "data_queue", "credit_queue", "credit_bucket",
         "_lowprio_queue",
         "_phantom", "_rcp_controller", "_on_transmit", "_on_enqueue",
-        "_pfc", "_pfc_paused", "_up", "_drop_filter", "_obs",
+        "_pfc", "_pfc_paused", "_up", "_drop_filter", "_drop_filters", "_obs",
         "stats", "_busy", "_wake_event", "_flags", "_tx_cache",
     )
 
@@ -112,6 +112,7 @@ class Port:
         self._pfc_paused = False
         self._up = True
         self._drop_filter = None
+        self._drop_filters: list = []
         self._obs = None
         self.stats = PortStats()
         self._busy = False
@@ -249,15 +250,52 @@ class Port:
 
     @property
     def drop_filter(self):
-        """Optional fault-injection hook: called with each packet entering
-        the port; returning True silently discards it
-        (:class:`repro.net.fault.LossInjector`)."""
+        """The fault-injection hook called with each packet entering the
+        port; returning True silently discards it.
+
+        Filters *chain*: install with :meth:`add_drop_filter` and remove
+        with :meth:`remove_drop_filter` so multiple injectors
+        (:class:`repro.net.fault.LossInjector`, chaos faults) compose — a
+        packet is dropped by the first filter that claims it, and later
+        filters never see packets an earlier one ate.  This property reads
+        the composed entry point (a single filter is installed bare, so the
+        common one-injector case costs no extra call); assigning it keeps
+        the legacy replace-the-whole-chain semantics.
+        """
         return self._drop_filter
 
     @drop_filter.setter
     def drop_filter(self, value) -> None:
-        self._drop_filter = value
+        self._drop_filters = [] if value is None else [value]
+        self._sync_drop_filter()
+
+    def add_drop_filter(self, fn) -> None:
+        """Append ``fn`` to the drop-filter chain (evaluated in install
+        order; first True wins)."""
+        self._drop_filters.append(fn)
+        self._sync_drop_filter()
+
+    def remove_drop_filter(self, fn) -> None:
+        """Remove exactly ``fn`` from the chain, leaving other filters
+        installed.  Raises ``ValueError`` if it is not installed."""
+        self._drop_filters.remove(fn)
+        self._sync_drop_filter()
+
+    def _sync_drop_filter(self) -> None:
+        filters = self._drop_filters
+        if not filters:
+            self._drop_filter = None
+        elif len(filters) == 1:
+            self._drop_filter = filters[0]
+        else:
+            self._drop_filter = self._run_drop_filters
         self._refresh_flags()
+
+    def _run_drop_filters(self, pkt: Packet) -> bool:
+        for fn in self._drop_filters:
+            if fn(pkt):
+                return True
+        return False
 
     # -- naming ------------------------------------------------------------
     @property

@@ -93,6 +93,19 @@ class TokenBucket:
             return 0
         return -(-deficit // self.rate_bps)
 
+    def set_rate(self, rate_bps: int, now_ps: int) -> None:
+        """Change the fill rate mid-run (chaos meter misconfiguration).
+
+        Tokens accrued at the old rate are settled up to ``now_ps`` first,
+        so the change takes effect exactly at ``now_ps`` and the integer
+        accounting stays exact on both sides of it.
+        """
+        if rate_bps <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self.refill(now_ps)
+        self._last_ps = max(self._last_ps, now_ps)
+        self.rate_bps = rate_bps
+
 
 class _QueueStats:
     """Shared occupancy bookkeeping: drops, max, and time-weighted average.

@@ -26,6 +26,13 @@ class Switch(Node):
         pkt.trace_hop(self.id)
         candidates = self.table.get(pkt.dst)
         if not candidates:
+            # Under an active fault plan a destination can be legitimately
+            # unreachable (switch blackout, partitioned fabric): the packet
+            # blackholes here, accounted so audit conservation still closes.
+            chaos = self.sim.chaos
+            if chaos is not None:
+                chaos.record_blackhole(pkt, self)
+                return
             raise RuntimeError(f"{self.name}: no route to host {pkt.dst}")
         if len(candidates) == 1:
             next_hop = candidates[0]

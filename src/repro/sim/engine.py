@@ -127,6 +127,11 @@ class Simulator:
         #: Optional :class:`repro.obs.MetricsRegistry`; installed by
         #: ``MetricsRegistry.attach``, consulted by ``Flow.__init__``.
         self.metrics = None
+        #: Optional :class:`repro.chaos.ChaosController`; installed when a
+        #: fault plan is compiled onto this simulator.  Consulted by
+        #: switches (blackhole accounting) and the auditor (injected-drop
+        #: budgets).
+        self.chaos = None
         hook = on_simulator_created
         if hook is not None:
             hook(self)

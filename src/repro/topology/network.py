@@ -103,6 +103,8 @@ class Network:
         maybe_attach(self)
         from repro.obs import maybe_attach as _obs_attach
         _obs_attach(self)
+        from repro.chaos import maybe_attach as _chaos_attach
+        _chaos_attach(self)
 
     # -- link failures (§3.1: "exclude links that fail unidirectionally") ----
     def fail_link(self, a, b, direction: str = "both") -> None:
@@ -114,26 +116,37 @@ class Network:
         wire still arrive; packets queued at a down port are not flushed but
         no new ones are accepted.
         """
-        fwd = a.ports.get(b.id)
-        rev = b.ports.get(a.id)
-        if fwd is None or rev is None:
-            raise ValueError(f"no link between {a.name} and {b.name}")
-        if direction in ("both", "a->b"):
-            fwd.up = False
-        if direction in ("both", "b->a"):
-            rev.up = False
-        if direction not in ("both", "a->b", "b->a"):
-            raise ValueError(f"bad direction {direction!r}")
-        build_ecmp_tables(self.nodes, [h.id for h in self.hosts])
+        self.set_link_state(a, b, up=False, direction=direction)
+        self.reconverge()
 
     def restore_link(self, a, b) -> None:
         """Bring the a<->b link back up (both directions) and reroute."""
+        self.set_link_state(a, b, up=True)
+        self.reconverge()
+
+    def set_link_state(self, a, b, up: bool, direction: str = "both") -> None:
+        """Flip the administrative state of the a<->b link WITHOUT rerouting.
+
+        Routing still points at the link until :meth:`reconverge` runs —
+        the window in which packets blackhole into the down port.  The
+        chaos plane uses this split to model routing-convergence delay;
+        :meth:`fail_link` / :meth:`restore_link` wrap it with an immediate
+        reconvergence for callers that don't care about the window.
+        """
         fwd = a.ports.get(b.id)
         rev = b.ports.get(a.id)
         if fwd is None or rev is None:
             raise ValueError(f"no link between {a.name} and {b.name}")
-        fwd.up = True
-        rev.up = True
+        if direction not in ("both", "a->b", "b->a"):
+            raise ValueError(f"bad direction {direction!r}")
+        if direction in ("both", "a->b"):
+            fwd.up = up
+        if direction in ("both", "b->a"):
+            rev.up = up
+
+    def reconverge(self) -> None:
+        """Rebuild ECMP tables from current link states (routing has
+        'noticed' every failure and repair applied so far)."""
         build_ecmp_tables(self.nodes, [h.id for h in self.hosts])
 
     # -- lookups --------------------------------------------------------------

@@ -67,6 +67,8 @@ class Flow:
         self.data_drops = 0
         self.credit_drops = 0
         self.retransmissions = 0
+        self._path_salt = 0
+        self.path_rehashes = 0
         self.on_complete: List[Callable[["Flow"], None]] = []
         self._started = False
         self._start_evt = self.sim.schedule_at(max(start_ps, self.sim.now),
@@ -86,9 +88,28 @@ class Flow:
         """ECMP hash for this packet.  Symmetric by default (§3.1)."""
         if self._symmetric:
             return self._sym_hash
+        salt = 7919 * self._path_salt
         return asymmetric_flow_hash(pkt.src, pkt.dst,
-                                    self.sport if pkt.src == self.src.id else self.dport,
-                                    self.dport if pkt.src == self.src.id else self.sport)
+                                    (self.sport if pkt.src == self.src.id else self.dport) + salt,
+                                    (self.dport if pkt.src == self.src.id else self.sport) + salt)
+
+    def rehash_path(self) -> None:
+        """Re-roll the flow's ECMP hash to steer around a dead path.
+
+        The salted hash is still *symmetric* — one shared value covers both
+        directions, so credits and data move to the mirrored new path in the
+        same instant (§3.1 holds across the move).  Deterministic: the salt
+        is a per-flow counter, not randomness.
+        """
+        self._path_salt += 1
+        salt = 7919 * self._path_salt  # prime stride decorrelates consecutive salts
+        self._sym_hash = symmetric_flow_hash(
+            self.src.id, self.dst.id, self.sport + salt, self.dport + salt)
+        self.path_rehashes += 1
+        metrics = getattr(self.sim, "metrics", None)
+        if metrics is not None:
+            metrics.counter("transport.path_rehashes").inc()
+            metrics.log_event(self.sim.now, "path_rehash", self.fid)
 
     @property
     def completed(self) -> bool:
@@ -173,6 +194,11 @@ class WindowFlow(Flow):
     min_cwnd = 1.0
     init_cwnd = 2.0
     DUPACK_THRESHOLD = 3
+    #: Consecutive RTOs (no ACK progress between them) before the flow
+    #: assumes its ECMP path is dead and re-hashes onto another one.
+    REHASH_AFTER_RTOS = 3
+    #: Exponential-backoff ceiling for consecutive RTOs (RFC 6298 style).
+    MAX_RTO_BACKOFF = 64
     #: Model the TCP 3-way handshake: data flows one RTT after the flow
     #: starts, matching ExpressPass's credit-request round trip so FCT
     #: comparisons are apples-to-apples.
@@ -193,6 +219,8 @@ class WindowFlow(Flow):
         self._recover_seq = -1  # fast-recovery guard
         self._rto_event = None
         self._min_rto_ps = min_rto_ps
+        self._rto_streak = 0    # consecutive RTOs without ACK progress
+        self._rto_backoff = 1   # integer multiplier; 1 until an RTO fires
         self._srtt: Optional[float] = None
         self._rttvar = 0.0
         self._pacing_event = None
@@ -299,8 +327,12 @@ class WindowFlow(Flow):
     # -- RTO ------------------------------------------------------------------
     def _current_rto_ps(self) -> int:
         if self._srtt is None:
-            return self._min_rto_ps * 4
-        return max(self._min_rto_ps, int(self._srtt + 4 * self._rttvar))
+            base = self._min_rto_ps * 4
+        else:
+            base = max(self._min_rto_ps, int(self._srtt + 4 * self._rttvar))
+        # Integer backoff multiplier: exactly 1 until an RTO has fired, so
+        # loss-free runs are bit-identical to the pre-backoff engine.
+        return base * self._rto_backoff
 
     def _arm_rto(self) -> None:
         if self._rto_event is not None:
@@ -318,6 +350,13 @@ class WindowFlow(Flow):
             return
         if self._inflight() <= 0:
             return
+        # Consecutive timeouts mean retransmissions are dying too: back the
+        # timer off exponentially, and after REHASH_AFTER_RTOS in a row
+        # assume the ECMP path itself is dead and move the flow off it.
+        self._rto_streak += 1
+        self._rto_backoff = min(self._rto_backoff * 2, self.MAX_RTO_BACKOFF)
+        if self.REHASH_AFTER_RTOS and self._rto_streak % self.REHASH_AFTER_RTOS == 0:
+            self.rehash_path()
         # Go-back-N: rewind to the cumulative point and let cc shrink cwnd.
         self.retransmissions += self._next_seq - (self._cum_acked + 1)
         self._next_seq = self._cum_acked + 1
@@ -373,6 +412,8 @@ class WindowFlow(Flow):
             newly = pkt.ack - self._cum_acked
             self._cum_acked = pkt.ack
             self._dupacks = 0
+            self._rto_streak = 0
+            self._rto_backoff = 1
             if self._cum_acked >= self._recover_seq:
                 self._recover_seq = -1
             self.cc_on_ack(newly, pkt.ecn_echo, rtt_sample)
@@ -443,6 +484,8 @@ class RateFlow(Flow):
         self._recover_seq = -1
         self._min_rto_ps = min_rto_ps
         self._rto_event = None
+        self._rto_streak = 0
+        self._rto_backoff = 1
         self._send_event = None
         self._rcv_expected = 0
         self._rcv_ooo = set()
@@ -522,13 +565,21 @@ class RateFlow(Flow):
     def _arm_rto(self) -> None:
         if self._rto_event is not None:
             self._rto_event.cancel()
-        self._rto_event = self.sim.schedule(self._min_rto_ps * 4, self._on_rto)
+        self._rto_event = self.sim.schedule(
+            self._min_rto_ps * 4 * self._rto_backoff, self._on_rto)
 
     def _on_rto(self) -> None:
         self._rto_event = None
         if self._stopped or self.completed:
             return
         if self._next_seq > self._cum_acked + 1:
+            # Same sustained-timeout handling as WindowFlow: back off and,
+            # after three in a row, abandon the (presumed dead) ECMP path.
+            self._rto_streak += 1
+            self._rto_backoff = min(self._rto_backoff * 2,
+                                    WindowFlow.MAX_RTO_BACKOFF)
+            if self._rto_streak % WindowFlow.REHASH_AFTER_RTOS == 0:
+                self.rehash_path()
             # Selective repair: the receiver buffers out-of-order segments,
             # so resending just the hole releases everything behind it.
             # (Go-back-N here would re-inject whole windows and collapse
@@ -587,6 +638,8 @@ class RateFlow(Flow):
         if pkt.ack > self._cum_acked:
             self._cum_acked = pkt.ack
             self._dupacks = 0
+            self._rto_streak = 0
+            self._rto_backoff = 1
             if self._recover_seq >= 0 and self._cum_acked < self._recover_seq:
                 # NewReno partial ACK: the next hole is known immediately —
                 # repair it now instead of waiting for dupacks or the RTO.

@@ -1,0 +1,391 @@
+"""Tests for repro.chaos: fault plans, injection, recovery, and budgeted audit.
+
+Covers: Gilbert–Elliott loss statistics against closed form; fault-plan
+serialization round-trips and bad-plan rejection; compound-event timeline
+expansion; controller mechanics on a dumbbell (flap survival, meter/jitter
+restore, injected-drop ledger, unknown-node skips); the audit plane staying
+armed under an active plan (a genuine silent leak is still caught while
+chaos-injected drops pass clean); determinism (same plan + seed ⇒
+bit-identical packet traces, serial == parallel); the k=4 fat-tree
+link-flap recovery acceptance bar; and the chaos CLI surface.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro import ExpressPassFlow, ExpressPassParams, runtime
+from repro.audit import NetworkAuditor
+from repro.chaos import (
+    ChaosController,
+    CreditMeterFault,
+    FaultPlan,
+    GilbertElliott,
+    HostJitterFault,
+    LinkDown,
+    LinkFlap,
+    LossBurst,
+    SwitchBlackout,
+    event_from_dict,
+)
+from repro.chaos.scenarios import RECOVERY_FRACTION, SCENARIOS, run_point
+from repro.cli import main as cli_main
+from repro.net.fault import LossInjector
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, SEC, US
+from repro.topology.simple import dumbbell
+
+EP = dict(params=ExpressPassParams(rtt_hint_ps=40 * US))
+
+#: Scaled-down scenario config so harness tests stay seconds, not minutes.
+SMALL = dict(n_flows=4, horizon_ps=5 * MS, fault_ps=2 * MS,
+             duration_ps=1 * MS, warmup_ps=1 * MS, bin_ps=500 * US)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos(monkeypatch):
+    """These tests manage their own plans; an ambient REPRO_CHAOS (e.g. the
+    CI chaos-smoke job) would auto-attach at Network.finalize and collide."""
+    for var in ("REPRO_CHAOS", "REPRO_CHAOS_SEED", "REPRO_CHAOS_LOG"):
+        monkeypatch.delenv(var, raising=False)
+    monkeypatch.delenv("REPRO_AUDIT", raising=False)
+
+
+# -- Gilbert–Elliott loss model --------------------------------------------
+
+class TestGilbertElliott:
+    def test_statistics_match_closed_form(self):
+        model = GilbertElliott(random.Random(1234),
+                               p_enter_bad=0.1, p_exit_bad=0.25)
+        drops = sum(model.step() for _ in range(100_000))
+        assert model.expected_loss_rate == pytest.approx(0.1 / 0.35)
+        assert model.expected_burst_len == pytest.approx(4.0)
+        assert model.observed_loss_rate == pytest.approx(
+            model.expected_loss_rate, rel=0.10)
+        assert model.observed_burst_len == pytest.approx(
+            model.expected_burst_len, rel=0.10)
+        assert drops == model.drops
+
+    def test_partial_loss_probabilities(self):
+        model = GilbertElliott(random.Random(7), p_enter_bad=0.2,
+                               p_exit_bad=0.5, loss_good=0.01, loss_bad=0.5)
+        for _ in range(100_000):
+            model.step()
+        assert model.observed_loss_rate == pytest.approx(
+            model.expected_loss_rate, rel=0.15)
+
+    def test_deterministic_given_rng(self):
+        a = GilbertElliott(random.Random(3), 0.1, 0.3)
+        b = GilbertElliott(random.Random(3), 0.1, 0.3)
+        assert [a.step() for _ in range(5000)] == \
+               [b.step() for _ in range(5000)]
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            GilbertElliott(rng, p_enter_bad=0.1, p_exit_bad=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliott(rng, p_enter_bad=1.5, p_exit_bad=0.5)
+        with pytest.raises(ValueError):
+            GilbertElliott(rng, 0.1, 0.5, loss_bad=1.0001)
+
+
+# -- fault plans ------------------------------------------------------------
+
+def _full_plan() -> FaultPlan:
+    return FaultPlan(name="everything", seed=42, events=(
+        LinkDown(t_ps=1 * MS, a="L", b="R", direction="a->b"),
+        LinkFlap(t_ps=2 * MS, a="L", b="R", down_ps=100 * US, flaps=2,
+                 gap_ps=50 * US),
+        SwitchBlackout(t_ps=3 * MS, node="L", duration_ps=200 * US),
+        LossBurst(t_ps=4 * MS, a="R", b="L", duration_ps=500 * US,
+                  p_enter_bad=0.2, p_exit_bad=0.5, match="credit"),
+        CreditMeterFault(t_ps=5 * MS, a="s0", b="L", duration_ps=100 * US,
+                         factor=3.0),
+        HostJitterFault(t_ps=6 * MS, host="s0", duration_ps=100 * US,
+                        factor=4.0),
+    ))
+
+
+class TestFaultPlan:
+    def test_json_round_trip_exact(self):
+        plan = _full_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        # The JSON is itself stable (a cache key / git-diffable artifact).
+        assert json.loads(plan.to_json())["version"] == 1
+        assert FaultPlan.from_json(plan.to_json()).to_json() == plan.to_json()
+
+    def test_save_load(self, tmp_path):
+        plan = _full_plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_with_seed(self):
+        plan = _full_plan()
+        reseeded = plan.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.events == plan.events
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            event_from_dict({"kind": "meteor_strike", "t_ps": 0})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            event_from_dict({"kind": "link_down", "t_ps": 0,
+                             "a": "L", "b": "R", "severity": 11})
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            LinkDown(t_ps=-1, a="L", b="R")
+        with pytest.raises(ValueError):
+            LinkDown(t_ps=0, a="", b="R")
+        with pytest.raises(ValueError):
+            LinkFlap(t_ps=0, a="L", b="R", flaps=0)
+        with pytest.raises(ValueError):
+            LossBurst(t_ps=0, a="L", b="R", p_exit_bad=0.0)
+        with pytest.raises(ValueError):
+            LossBurst(t_ps=0, a="L", b="R", match="everything")
+        with pytest.raises(ValueError):
+            FaultPlan(reconverge_delay_ps=-1)
+
+    def test_flap_timeline_expansion(self):
+        plan = FaultPlan(events=(
+            LinkFlap(t_ps=10, a="L", b="R", down_ps=5, flaps=2, gap_ps=3),))
+        ops = [(t, op) for t, op, _, _ in plan.timeline()]
+        assert ops == [(10, "link_down"), (15, "link_up"),
+                       (18, "link_down"), (23, "link_up")]
+
+    def test_timeline_sorted_and_stable(self):
+        plan = FaultPlan(events=(
+            SwitchBlackout(t_ps=100, node="L", duration_ps=50),
+            LinkDown(t_ps=100, a="L", b="R"),
+            LossBurst(t_ps=50, a="L", b="R", duration_ps=10),))
+        tl = plan.timeline()
+        assert [t for t, *_ in tl] == sorted(t for t, *_ in tl)
+        # Equal times fire in plan order: blackout (idx 0) before link_down.
+        at_100 = [(op, idx) for t, op, _, idx in tl if t == 100]
+        assert at_100 == [("switch_down", 0), ("link_down", 1)]
+
+
+# -- controller on a dumbbell ----------------------------------------------
+
+class TestChaosController:
+    def test_flow_survives_link_flap(self):
+        """A mid-transfer flap on the only path: the flow must finish once
+        the link returns, with every fault-window drop accounted."""
+        sim = Simulator(seed=3)
+        topo = dumbbell(sim, n_pairs=1)
+        auditor = NetworkAuditor(sim)
+        auditor.attach_network(topo.net)
+        plan = FaultPlan(name="flap", seed=3, events=(
+            LinkFlap(t_ps=500 * US, a="L", b="R", down_ps=500 * US),))
+        controller = ChaosController(sim, topo.net, plan)
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0],
+                               size_bytes=2_000_000, **EP)
+        sim.run(until=1 * SEC)
+        assert flow.completed
+        assert sim.pending() == 0
+        assert controller.skipped == 0
+        assert len(controller.applied) >= 2  # down, up (+ reconverges)
+        report = auditor.finalize()
+        assert report.ok, report.format()
+
+    def test_loss_burst_budgeted_not_a_violation(self):
+        """GE credit drops are charged to the chaos ledger and the audit
+        conservation check passes with the budget applied."""
+        sim = Simulator(seed=5)
+        topo = dumbbell(sim, n_pairs=1)
+        auditor = NetworkAuditor(sim)
+        auditor.attach_network(topo.net)
+        plan = FaultPlan(name="burst", seed=5, events=(
+            LossBurst(t_ps=200 * US, a="R", b="L", duration_ps=2 * MS,
+                      p_enter_bad=0.1, p_exit_bad=0.3, match="credit"),))
+        controller = ChaosController(sim, topo.net, plan)
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0],
+                               size_bytes=1_000_000, **EP)
+        sim.run(until=1 * SEC)
+        assert flow.completed and sim.pending() == 0
+        assert controller.total_injected_credit > 0
+        assert controller.injected_credit_drops(flow.fid) == \
+            controller.total_injected_credit
+        report = auditor.finalize()
+        assert report.ok, report.format()
+
+    def test_real_leak_still_caught_under_active_plan(self):
+        """The satellite self-test: with a chaos plan actively injecting
+        budgeted credit drops, an *unbudgeted* silent leak elsewhere still
+        breaks credit conservation."""
+        sim = Simulator(seed=5)
+        topo = dumbbell(sim, n_pairs=1)
+        leak = LossInjector(topo.bottleneck_rev, every_nth=7,
+                            match=lambda p: p.is_credit, notify_flows=False)
+        auditor = NetworkAuditor(sim)
+        auditor.attach_network(topo.net)
+        plan = FaultPlan(name="burst", seed=5, events=(
+            LossBurst(t_ps=200 * US, a="R", b="L", duration_ps=2 * MS,
+                      p_enter_bad=0.1, p_exit_bad=0.3, match="credit"),))
+        controller = ChaosController(sim, topo.net, plan)
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0],
+                               size_bytes=1_000_000, **EP)
+        sim.run(until=1 * SEC)
+        assert flow.completed and sim.pending() == 0
+        assert leak.dropped > 0 and controller.total_injected_credit > 0
+        report = auditor.finalize()
+        hits = [v for v in report.violations
+                if v.invariant == "credit-conservation"]
+        assert hits, "silent leak went unnoticed under an active fault plan"
+        assert "chaos-injected" in hits[0].message  # budget was applied
+
+    def test_meter_fault_restores_exact_rate(self):
+        sim = Simulator(seed=1)
+        topo = dumbbell(sim, n_pairs=1)
+        port = topo.bottleneck_fwd
+        before = port.credit_bucket.rate_bps
+        plan = FaultPlan(name="meter", seed=1, events=(
+            CreditMeterFault(t_ps=100 * US, a="L", b="R",
+                             duration_ps=300 * US, factor=2.0),))
+        ChaosController(sim, topo.net, plan)
+        sim.run(until=200 * US)
+        assert port.credit_bucket.rate_bps == pytest.approx(2.0 * before)
+        sim.run(until=1 * MS)
+        assert port.credit_bucket.rate_bps == pytest.approx(before)
+
+    def test_host_jitter_restores_delay_model(self):
+        sim = Simulator(seed=1)
+        topo = dumbbell(sim, n_pairs=1)
+        host = topo.senders[0]
+        before = host.delay_model
+        plan = FaultPlan(name="jitter", seed=1, events=(
+            HostJitterFault(t_ps=100 * US, host="s0",
+                            duration_ps=300 * US, factor=8.0),))
+        ChaosController(sim, topo.net, plan)
+        sim.run(until=200 * US)
+        assert host.delay_model is not before  # spiked per-host copy
+        sim.run(until=1 * MS)
+        assert host.delay_model is before
+
+    def test_unknown_nodes_skipped_not_fatal(self):
+        sim = Simulator(seed=1)
+        topo = dumbbell(sim, n_pairs=1)
+        plan = FaultPlan(name="ghost", seed=1, events=(
+            LinkDown(t_ps=100 * US, a="agg9_9", b="core9"),
+            SwitchBlackout(t_ps=200 * US, node="nowhere"),))
+        controller = ChaosController(sim, topo.net, plan)
+        sim.run(until=1 * MS)
+        # link_down + (switch_down, switch_up): three skipped primitive ops.
+        assert controller.skipped == 3
+        assert all(msg.startswith("skip:") for _, msg in controller.applied)
+
+    def test_second_controller_rejected(self):
+        sim = Simulator(seed=1)
+        topo = dumbbell(sim, n_pairs=1)
+        plan = FaultPlan(name="one", seed=1)
+        ChaosController(sim, topo.net, plan)
+        with pytest.raises(RuntimeError):
+            ChaosController(sim, topo.net, plan)
+
+
+# -- ambient activation (REPRO_CHAOS) --------------------------------------
+
+class TestAmbientActivation:
+    def test_finalize_attaches_env_plan(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        FaultPlan(name="env", seed=4, events=(
+            LinkDown(t_ps=1 * MS, a="L", b="R"),)).save(path)
+        monkeypatch.setenv("REPRO_CHAOS", str(path))
+        sim = Simulator(seed=1)
+        topo = dumbbell(sim, n_pairs=1)  # finalize() runs inside
+        assert sim.chaos is not None
+        assert sim.chaos.plan.name == "env"
+        sim.run(until=2 * MS)
+        assert any("link down" in msg for _, msg in sim.chaos.applied)
+
+    def test_seed_override(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        FaultPlan(name="env", seed=4).save(path)
+        monkeypatch.setenv("REPRO_CHAOS", str(path))
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "99")
+        sim = Simulator(seed=1)
+        topo = dumbbell(sim, n_pairs=1)
+        assert sim.chaos.plan.seed == 99
+
+    def test_no_env_no_controller(self):
+        sim = Simulator(seed=1)
+        dumbbell(sim, n_pairs=1)
+        assert sim.chaos is None
+
+
+# -- determinism ------------------------------------------------------------
+
+class TestDeterminism:
+    def test_same_plan_same_seed_bit_identical(self):
+        first = run_point("loss-burst", seed=7, digest=True, **SMALL)
+        second = run_point("loss-burst", seed=7, digest=True, **SMALL)
+        assert first["trace_digest"] == second["trace_digest"]
+        assert first == second
+
+    def test_serial_matches_parallel(self, tmp_path):
+        from repro.experiments.runner import run_sweep
+        points = [{"scenario": "link-flap", "seed": s} for s in (1, 2)]
+        common = dict(SMALL, digest=True)
+        with runtime.using(parallel=0, cache_enabled=False):
+            serial = run_sweep(run_point, points, common=common)
+        with runtime.using(parallel=2, cache_enabled=False):
+            parallel = run_sweep(run_point, points, common=common)
+        assert serial == parallel
+
+
+# -- the acceptance bar: k=4 fat-tree link-flap recovery -------------------
+
+class TestRecoveryAcceptance:
+    def test_link_flap_recovers_goodput(self):
+        row = run_point("link-flap", seed=1)
+        assert row["violations"] == 0
+        assert row["stalled"] == 0
+        # The fault must actually bite before recovery means anything.
+        assert row["low_gbps"] < RECOVERY_FRACTION * row["pre_gbps"]
+        assert row["recovery_ms"] >= 0
+        assert row["recovered_frac"] >= RECOVERY_FRACTION
+        assert row["ok"]
+
+    def test_watchdog_recovers_without_routing(self):
+        """Reconvergence slower than the run: flows must re-hash themselves
+        off the dead path (transport watchdog, not routing)."""
+        # All 8 flows so the flapped link is on someone's path at this seed.
+        row = run_point("link-flap", seed=1, reconverge_delay_ps=100 * MS,
+                        **dict(SMALL, n_flows=8))
+        assert row["recoveries"] > 0 and row["rehashes"] > 0
+        assert row["stalled"] == 0
+        assert row["violations"] == 0
+
+    def test_all_scenarios_importable_and_listed(self):
+        assert set(SCENARIOS) == {"link-flap", "switch-blackout",
+                                  "loss-burst", "credit-misconfig",
+                                  "host-jitter"}
+        with pytest.raises(ValueError, match="unknown chaos scenario"):
+            run_point("cosmic-rays", **SMALL)
+
+
+# -- CLI surface ------------------------------------------------------------
+
+class TestChaosCLI:
+    def test_list(self, capsys):
+        assert cli_main(["chaos", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_unknown_scenario_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["chaos", "cosmic-rays"])
+
+    def test_emit_plan(self, tmp_path, capsys):
+        path = tmp_path / "flap.json"
+        assert cli_main(["chaos", "link-flap", "--seed", "3",
+                         "--emit-plan", str(path)]) == 0
+        plan = FaultPlan.load(path)
+        assert plan.name == "link-flap" and plan.seed == 3
+        assert any(ev.kind == "link_flap" for ev in plan.events)

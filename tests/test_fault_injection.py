@@ -50,11 +50,33 @@ class TestInjectorMechanics:
         assert flow.completed
         assert injector.dropped == 0
 
-    def test_double_attach_rejected(self, sim):
+    def test_injectors_chain(self, sim):
+        # Two injectors compose: the second only sees packets the first let
+        # through, and detaching one leaves the other installed.
         topo = small_dumbbell(sim)
-        LossInjector(topo.bottleneck_fwd, probability=0.1)
-        with pytest.raises(RuntimeError):
-            LossInjector(topo.bottleneck_fwd, probability=0.1)
+        first = LossInjector(topo.bottleneck_fwd, every_nth=4)
+        second = LossInjector(topo.bottleneck_fwd, every_nth=5)
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0], 100_000,
+                               params=PARAMS)
+        sim.run(until=SEC)
+        assert flow.completed
+        assert first.dropped == first.seen // 4
+        # Chain order: packets dropped upstream never reach the second hook.
+        assert second.seen == first.seen - first.dropped
+        assert second.dropped == second.seen // 5
+
+    def test_detach_removes_only_own_filter(self, sim):
+        topo = small_dumbbell(sim)
+        keep = LossInjector(topo.bottleneck_fwd, every_nth=3)
+        goner = LossInjector(topo.bottleneck_fwd, every_nth=2)
+        goner.detach()
+        goner.detach()  # idempotent
+        flow = ExpressPassFlow(topo.senders[0], topo.receivers[0], 50_000,
+                               params=PARAMS)
+        sim.run(until=SEC)
+        assert flow.completed
+        assert goner.dropped == 0
+        assert keep.dropped == keep.seen // 3 > 0
 
     def test_validation(self, sim):
         topo = small_dumbbell(sim)
