@@ -182,6 +182,61 @@ def main(argv=None) -> int:
     obsp.add_argument("--dashboard", action="store_true",
                       help="render live sparkline panels to stderr while "
                            "the simulation runs")
+    matrixp = sub.add_parser(
+        "matrix",
+        help="compile a scenario spec (YAML/JSON) and run its full "
+             "cross-product through the runtime, then print a ranked "
+             "comparison report; exit 1 on a failed cell or an audit "
+             "violation")
+    matrixp.add_argument("spec",
+                         help="spec file path, or a bundled scenarios/ name "
+                              "(see 'scenarios list')")
+    matrixp.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                         help="override the spec's seed list")
+    matrixp.add_argument("--filter", default=None, metavar="EXPR",
+                         help="run only matching cells: space-separated "
+                              "terms, each 'axis=value' (exact) or a label "
+                              "substring; all must match")
+    matrixp.add_argument("--set", action="append", default=[],
+                         metavar="PATH=VALUE",
+                         help="override a spec field by dotted path, e.g. "
+                              "--set timing.measure_ps=5000000000 or "
+                              "--set sweep.workload.load=0.2,0.6")
+    matrixp.add_argument("--json", action="store_true",
+                         help="emit the full report (rows, groups, ranking) "
+                              "as JSON on stdout")
+    matrixp.add_argument("--report-jsonl", default=None, metavar="FILE",
+                         help="write the report as a JSONL record stream "
+                              "(schema repro.scenarios.report/v1) to FILE")
+    matrixp.add_argument("--report-csv", default=None, metavar="FILE",
+                         help="write the per-cell rows as wide CSV to FILE")
+    matrixp.add_argument("--parallel", type=int, default=None, metavar="N",
+                         help="run cells on N worker processes")
+    matrixp.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk result cache for this run")
+    matrixp.add_argument("--retries", type=int, default=None, metavar="K",
+                         help="retry a failing cell up to K times")
+    matrixp.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                         help="best-effort per-cell timeout in seconds")
+    matrixp.add_argument("--telemetry", default=None, metavar="FILE",
+                         help="append runtime events as JSONL to FILE")
+    matrixp.add_argument("--audit", action="store_true",
+                         help="run every cell under the runtime verifier; "
+                              "exit 1 on any violation")
+    matrixp.add_argument("--metrics", action="store_true",
+                         help="collect repro.obs metrics in every cell and "
+                              "print a summary to stderr (disables the "
+                              "cache: cached results carry no metrics)")
+    matrixp.add_argument("--obs-jsonl", default=None, metavar="FILE",
+                         help="export the merged obs summary as JSONL "
+                              "(schema repro.obs.v1) to FILE; implies "
+                              "--metrics")
+    scenp = sub.add_parser(
+        "scenarios",
+        help="inspect the bundled scenario library or lint a spec file")
+    scenp.add_argument("action", choices=("list", "validate"))
+    scenp.add_argument("spec", nargs="*",
+                       help="spec file(s) or bundled name(s) to validate")
     cachep = sub.add_parser(
         "cache", help="inspect or clear the experiment result cache")
     cachep.add_argument("action", choices=("stats", "clear"))
@@ -228,6 +283,155 @@ def main(argv=None) -> int:
             removed = cache.clear()
             print(f"removed {removed} entries from {cache.directory}")
         return 0
+
+    if args.command == "scenarios":
+        from repro import scenarios as sc
+        if args.action == "list":
+            found = False
+            for path in sc.iter_library():
+                found = True
+                try:
+                    spec = sc.load(path)
+                except sc.SpecError:
+                    print(f"{path.stem:28s} INVALID (run 'scenarios "
+                          f"validate {path.name}')")
+                    continue
+                tags = f" [{','.join(spec.tags)}]" if spec.tags else ""
+                print(f"{path.stem:28s} {spec.cell_count:4d} cell(s)"
+                      f"{tags}  {spec.description}")
+            if not found:
+                print(f"no specs in {sc.library_dir()}", file=sys.stderr)
+            return 0
+        if not args.spec:
+            parser.error("scenarios validate needs at least one spec "
+                         "file or bundled name")
+        bad = 0
+        for entry in args.spec:
+            try:
+                path = sc.resolve_spec(entry)
+            except sc.SpecError as exc:
+                print(exc.render(), file=sys.stderr)
+                bad += 1
+                continue
+            problems = sc.lint(path)
+            if problems:
+                bad += 1
+                for fld, msg in problems:
+                    print(f"{path}: {fld}: {msg}", file=sys.stderr)
+            else:
+                spec = sc.load(path)
+                print(f"{path}: OK ({spec.cell_count} cell(s))")
+        return 1 if bad else 0
+
+    if args.command == "matrix":
+        from repro import scenarios as sc
+        try:
+            spec_path = sc.resolve_spec(args.spec)
+            scenario = sc.load(spec_path)
+            if args.set:
+                data = scenario.to_dict()
+                for item in args.set:
+                    if "=" not in item:
+                        parser.error(f"--set expects PATH=VALUE, got {item!r}")
+                    key, _, raw = item.partition("=")
+                    value = _parse_value(raw)
+                    if isinstance(value, tuple):
+                        value = list(value)
+                    sc.schema.set_by_path(data, key, value)
+                scenario = sc.Scenario.from_dict(
+                    data, source=f"{spec_path} (+overrides)",
+                    base_dir=scenario.base_dir)
+        except sc.SpecError as exc:
+            print(exc.render(), file=sys.stderr)
+            return 1
+        seeds = None
+        if args.seeds:
+            seeds = [int(s) for s in args.seeds.split(",") if s]
+        config_overrides = {}
+        if args.parallel is not None:
+            config_overrides["parallel"] = args.parallel
+        if args.no_cache:
+            config_overrides["cache_enabled"] = False
+        if args.retries is not None:
+            config_overrides["retries"] = args.retries
+        if args.timeout is not None:
+            config_overrides["task_timeout_s"] = args.timeout
+        if args.telemetry:
+            config_overrides["telemetry_path"] = pathlib.Path(args.telemetry)
+        if args.audit:
+            config_overrides["audit"] = True
+        do_metrics = args.metrics or bool(args.obs_jsonl)
+        if do_metrics:
+            # Cached results carry no metrics (same rule as `repro obs`).
+            config_overrides["metrics"] = True
+            config_overrides["cache_enabled"] = False
+        audit_verdict = None
+        metrics_summary = None
+        with contextlib.ExitStack() as stack:
+            cap = ocap = None
+            if args.audit:
+                from repro import audit
+                audit.reset_session()
+            if do_metrics:
+                from repro import obs
+                obs.reset_session()
+                ocap = stack.enter_context(obs.capture())
+            stack.enter_context(runtime.using(**config_overrides))
+            if args.audit:
+                cap = stack.enter_context(audit.capture())
+            try:
+                outcome = sc.run_matrix(scenario, seeds=seeds,
+                                        cell_filter=args.filter)
+            except sc.SpecError as exc:
+                print(exc.render(), file=sys.stderr)
+                return 1
+        if args.audit:
+            audit_verdict = audit.merge_summaries(
+                [cap.summary, audit.session_summary()])
+        if do_metrics:
+            metrics_summary = obs.merge_summaries(
+                [ocap.summary, obs.session_summary()])
+        report = outcome.report
+        # Reports go to explicit file handles, never stdout: the JSONL/CSV
+        # streams must stay clean of anything the surrounding environment
+        # (activation hooks, warnings) may print.
+        if args.report_jsonl:
+            n = sc.write_report_jsonl(args.report_jsonl, report)
+            print(f"wrote {n} report record(s) to {args.report_jsonl}",
+                  file=sys.stderr)
+        if args.report_csv:
+            n = sc.write_report_csv(args.report_csv, report)
+            print(f"wrote {n} CSV row(s) to {args.report_csv}",
+                  file=sys.stderr)
+        if args.obs_jsonl and metrics_summary is not None:
+            from repro.obs import export as obs_export
+            n = obs_export.write_jsonl(args.obs_jsonl, metrics_summary)
+            print(f"wrote {n} obs record(s) to {args.obs_jsonl}",
+                  file=sys.stderr)
+        if args.json:
+            print(json.dumps({
+                "scenario": report.scenario, "compare": report.compare,
+                "objectives": report.objectives, "meta": report.meta,
+                "rows": report.rows, "groups": report.groups,
+                "ranking": [{"rank": i, "group": g, "score": s}
+                            for i, (g, s) in enumerate(report.ranking, 1)],
+            }, indent=2, default=str))
+        else:
+            print(sc.format_report(report))
+        if metrics_summary is not None and args.metrics:
+            print(obs.format_summary(metrics_summary), file=sys.stderr)
+        status = 0
+        if not outcome.ok:
+            for res in outcome.failed:
+                print(f"matrix: FAILED cell {res.label}: {res.error}",
+                      file=sys.stderr)
+            status = 1
+        if audit_verdict is not None:
+            from repro.audit import format_summary as audit_format
+            print(audit_format(audit_verdict), file=sys.stderr)
+            if not audit_verdict["ok"]:
+                status = 1
+        return status
 
     if args.command == "chaos":
         from repro.chaos import scenarios as chaos_scenarios

@@ -53,13 +53,17 @@ def run_realistic(
     ep_params: Optional[ExpressPassParams] = None,
     size_cap_bytes: Optional[int] = 20_000_000,
     drain_ps: int = 1 * SEC,
+    chaos_plan: Optional[dict] = None,
 ) -> RealisticRun:
     """One (protocol, workload, load) simulation on the scaled Clos fabric.
 
     ``size_cap_bytes`` truncates samples so a single 100 MB+ elephant cannot
     dominate a scaled-down run (recorded as a substitution in DESIGN.md);
     pass ``None`` for the unclipped distribution.  The run ends when all
-    flows complete or ``drain_ps`` after the last arrival.
+    flows complete or ``drain_ps`` after the last arrival.  ``chaos_plan``
+    (a ``FaultPlan.to_dict()`` dict, e.g. compiled from a scenario spec's
+    ``chaos`` section) injects faults into the fabric during the run; event
+    node names must match the Clos (``tor0``/``agg0``/``h0``...).
     """
     if workload not in WORKLOADS:
         raise ValueError(f"unknown workload {workload!r}: {sorted(WORKLOADS)}")
@@ -72,6 +76,12 @@ def run_realistic(
     edge = harness.adapt_link(LinkSpec(rate_bps=rate_bps, prop_delay_ps=4 * US))
     core = harness.adapt_link(LinkSpec(rate_bps=core_rate, prop_delay_ps=4 * US))
     topo = oversubscribed_clos(sim, edge=edge, core=core)
+    if chaos_plan is not None:
+        from repro.chaos import ChaosController, FaultPlan
+        if getattr(sim, "chaos", None) is not None:
+            raise RuntimeError("chaos_plan conflicts with an ambient "
+                               "REPRO_CHAOS plan; unset one of them")
+        ChaosController(sim, topo.net, FaultPlan.from_dict(chaos_plan))
     harness.install(sim, topo.net)
 
     hosts = topo.hosts

@@ -1,0 +1,67 @@
+"""repro.scenarios — declarative scenarios and the full-matrix harness.
+
+A scenario spec (YAML or JSON) names a point in the repo's evaluation
+space — ``topology × workload × transport × chaos × timing`` — plus
+``sweep`` axes to cross-product over.  The pipeline::
+
+    spec file --load--> Scenario --compile--> TaskSpecs --run--> MatrixReport
+
+Each stage is importable on its own: :mod:`~repro.scenarios.schema`
+validates, :mod:`~repro.scenarios.loader` parses files,
+:mod:`~repro.scenarios.compiler` lowers to the runtime,
+:mod:`~repro.scenarios.cells` holds the picklable cell functions,
+:mod:`~repro.scenarios.matrix` executes, and
+:mod:`~repro.scenarios.report` ranks and exports.
+
+``python -m repro matrix <spec>`` drives the whole pipeline;
+``python -m repro scenarios list|validate`` inspects the bundled library
+(the repository's top-level ``scenarios/`` directory).
+"""
+
+from repro.scenarios.schema import (  # noqa: F401
+    SCHEMA,
+    SWEEP_AXES,
+    Scenario,
+    SpecError,
+    TOPOLOGY_KINDS,
+    WORKLOAD_KINDS,
+)
+from repro.scenarios.loader import (  # noqa: F401
+    dumps,
+    iter_library,
+    library_dir,
+    lint,
+    load,
+    loads,
+    resolve_spec,
+)
+from repro.scenarios.compiler import (  # noqa: F401
+    Cell,
+    CompiledMatrix,
+    cell_rows,
+    compile_scenario,
+    match_cell,
+)
+from repro.scenarios.matrix import MatrixOutcome, run_matrix  # noqa: F401
+from repro.scenarios.report import (  # noqa: F401
+    MatrixReport,
+    REPORT_SCHEMA,
+    build_report,
+    format_report,
+    load_report_jsonl,
+    validate_report_jsonl,
+    write_report_csv,
+    write_report_jsonl,
+)
+
+__all__ = [
+    "SCHEMA", "SWEEP_AXES", "TOPOLOGY_KINDS", "WORKLOAD_KINDS",
+    "Scenario", "SpecError",
+    "load", "loads", "dumps", "lint", "library_dir", "iter_library",
+    "resolve_spec",
+    "Cell", "CompiledMatrix", "compile_scenario", "cell_rows", "match_cell",
+    "MatrixOutcome", "run_matrix",
+    "MatrixReport", "REPORT_SCHEMA", "build_report", "format_report",
+    "write_report_jsonl", "load_report_jsonl", "validate_report_jsonl",
+    "write_report_csv",
+]

@@ -1,0 +1,287 @@
+"""Matrix cell functions: the picklable units a compiled scenario runs.
+
+One cell = one simulation = one :class:`repro.runtime.TaskSpec`, so the
+process pool, content-addressed cache, retries, and audit capture all apply
+unchanged.  Every argument is plain data (strings, ints, dicts) — chaos
+plans arrive as ``FaultPlan.to_dict()`` dicts, ExpressPass parameters as a
+named profile — which keeps cache keys stable across processes and spec
+reloads.
+
+``run_persistent`` generalizes Fig 15's measurement (long-running pairs,
+steady-window utilization/fairness/queue) across all five concrete topology
+families; its dumbbell branch is *the* implementation behind
+:func:`repro.experiments.fig15_flow_scalability.run_point`, which is what
+makes the spec-compiled fig15 path bit-identical to the hand-written one.
+``run_poisson`` wraps :func:`repro.experiments.realistic.run_realistic`
+(Fig 18–21 / Table 3 machinery) and flattens the result to a plain dict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import ExpressPassParams
+from repro.core.params import REALISTIC_WORKLOAD_PARAMS
+from repro.metrics import jain_index
+from repro.metrics.fct import FctStats
+from repro.sim.engine import Simulator
+from repro.sim.units import GBPS, MS, SEC, US
+from repro.topology import (
+    LinkSpec,
+    dumbbell,
+    fat_tree,
+    multi_bottleneck,
+    parking_lot,
+    single_switch,
+)
+
+#: ExpressPass parameter profiles selectable from a spec.
+EP_PROFILES: Dict[str, Optional[ExpressPassParams]] = {
+    "default": None,
+    "realistic": REALISTIC_WORKLOAD_PARAMS,
+}
+
+
+def resolve_ep_profile(profile: str) -> Optional[ExpressPassParams]:
+    if profile not in EP_PROFILES:
+        raise ValueError(f"unknown ep_profile {profile!r}; "
+                         f"choose from {sorted(EP_PROFILES)}")
+    return EP_PROFILES[profile]
+
+
+def _attach_chaos(sim: Simulator, net, chaos_plan: Optional[dict]):
+    """Build the cell's ChaosController from a plan dict (or no-op)."""
+    if chaos_plan is None:
+        return None
+    from repro.chaos import ChaosController, FaultPlan
+
+    if getattr(sim, "chaos", None) is not None:
+        raise RuntimeError(
+            "scenario cells build their own fault plan; unset REPRO_CHAOS "
+            "to run a spec with a chaos section")
+    return ChaosController(sim, net, FaultPlan.from_dict(chaos_plan))
+
+
+def _persistent_fabric(sim: Simulator, topology: str, n_flows: int,
+                       spec: LinkSpec, topo_params: dict,
+                       ) -> Tuple[object, List[Tuple[object, object]], int]:
+    """Build the named topology and its flow pairing.
+
+    Returns ``(topo, pairs, capacity_bps)`` where ``capacity_bps`` is the
+    utilization denominator: the capacity of what the family actually
+    shares (dumbbell/multi-bottleneck: the one contended link; parking lot:
+    the sum of chain links; star and fat tree: the sum of per-pair edge
+    capacity, since no single link is shared).
+    """
+    rate = spec.rate_bps
+    if topology == "dumbbell":
+        topo = dumbbell(sim, n_pairs=n_flows, bottleneck=spec)
+        return topo, list(zip(topo.senders, topo.receivers)), rate
+    if topology == "single_switch":
+        topo = single_switch(sim, 2 * n_flows, link=spec)
+        pairs = [(topo.hosts[i], topo.hosts[n_flows + i])
+                 for i in range(n_flows)]
+        return topo, pairs, n_flows * rate
+    if topology == "parking_lot":
+        topo = parking_lot(sim, n_bottlenecks=n_flows - 1, link=spec)
+        pairs = [(topo.long_src, topo.long_dst)]
+        pairs += list(zip(topo.cross_srcs, topo.cross_dsts))
+        return topo, pairs, (n_flows - 1) * rate
+    if topology == "multi_bottleneck":
+        topo = multi_bottleneck(sim, n_cross_flows=n_flows - 1, link=spec)
+        pairs = [(topo.flow0_src, topo.flow0_dst_hosts[0])]
+        pairs += [(src, topo.flow0_dst_hosts[i + 1])
+                  for i, src in enumerate(topo.cross_srcs)]
+        return topo, pairs, rate
+    if topology == "fat_tree":
+        k = int(topo_params.get("k", 4))
+        topo = fat_tree(sim, k, edge=spec)
+        by_name = {h.name: h for h in topo.hosts}
+        half = k // 2
+        names = [(f"h{p}_{t}_{h}", f"h{p + 2}_{t}_{h}")
+                 for p in range(half) for t in range(half)
+                 for h in range(half)]
+        if n_flows > len(names):
+            raise ValueError(f"k={k} fat tree supports at most {len(names)} "
+                             f"inter-pod pairs, got {n_flows}")
+        pairs = [(by_name[a], by_name[b]) for a, b in names[:n_flows]]
+        return topo, pairs, n_flows * rate
+    raise ValueError(f"unknown topology kind {topology!r}")
+
+
+def _goodput_gbps(totals: List[int], bin_ps: int) -> List[float]:
+    bin_s = bin_ps * 1e-12
+    return [(totals[i + 1] - totals[i]) * 8 / bin_s / 1e9
+            for i in range(len(totals) - 1)]
+
+
+def _first_sustained(gbps: List[float], threshold: float, start_bin: int,
+                     bin_ps: int) -> int:
+    """End time (ps) of the first of two consecutive bins >= threshold
+    starting at ``start_bin``; -1 if never sustained."""
+    for i in range(start_bin, len(gbps) - 1):
+        if gbps[i] >= threshold and gbps[i + 1] >= threshold:
+            return (i + 1) * bin_ps
+    if len(gbps) == start_bin + 1 and gbps[start_bin] >= threshold:
+        return (start_bin + 1) * bin_ps
+    return -1
+
+
+def run_persistent(
+    protocol: str,
+    n_flows: int,
+    topology: str = "dumbbell",
+    topo_params: Optional[dict] = None,
+    rate_bps: int = 10 * GBPS,
+    prop_delay_ps: int = 4 * US,
+    warmup_ps: int = 50 * MS,
+    measure_ps: int = 50 * MS,
+    bin_ps: int = 500 * US,
+    seed: int = 1,
+    ep_profile: str = "default",
+    ep_params: Optional[ExpressPassParams] = None,
+    chaos_plan: Optional[dict] = None,
+) -> dict:
+    """One persistent-flow cell: long-running pairs, steady-window metrics.
+
+    ``ep_params`` (an explicit parameter object) wins over ``ep_profile``
+    (a named profile) — the spec path always uses the latter so kwargs stay
+    plain data.  With a ``chaos_plan``, goodput recovery is measured the
+    same way :mod:`repro.chaos.scenarios` does: pre-fault mean, fault-window
+    minimum, and time until goodput sustains 90 % of the pre-fault level.
+    """
+    from repro.experiments.runner import get_harness
+
+    topo_params = topo_params or {}
+    params = ep_params if ep_params is not None \
+        else resolve_ep_profile(ep_profile)
+    sim = Simulator(seed=seed)
+    base_rtt = 30 * US
+    harness = get_harness(protocol, rate_bps, base_rtt, params)
+    spec = harness.adapt_link(
+        LinkSpec(rate_bps=rate_bps, prop_delay_ps=prop_delay_ps))
+    topo, pairs, capacity_bps = _persistent_fabric(
+        sim, topology, n_flows, spec, topo_params)
+    chaos = _attach_chaos(sim, topo.net, chaos_plan)
+    harness.install(sim, topo.net)
+    flows = [harness.flow(src, dst, None) for src, dst in pairs]
+
+    # Fixed-edge goodput sampling (read-only callbacks: they never perturb
+    # the simulation, so the dumbbell branch stays bit-identical to the
+    # hand-written fig15 path, which samples nothing).
+    horizon_ps = warmup_ps + measure_ps
+    n_bins = horizon_ps // bin_ps
+    totals: List[int] = []
+
+    def _sample() -> None:
+        totals.append(sum(f.bytes_delivered for f in flows))
+
+    for i in range(n_bins + 1):
+        sim.schedule_at(i * bin_ps, _sample)
+
+    sim.run(until=warmup_ps)
+    base = {f: f.bytes_delivered for f in flows}
+    sim.run(until=horizon_ps)
+    seconds = measure_ps / 1e12
+    rates = [(f.bytes_delivered - base[f]) * 8 / seconds for f in flows]
+
+    gbps = _goodput_gbps(totals, bin_ps)
+    steady = sum(rates) / 1e9
+    threshold = 0.9 * (steady if steady > 0 else float("inf"))
+    convergence_ps = _first_sustained(gbps, threshold, 0, bin_ps)
+
+    row = {
+        "protocol": protocol,
+        "flows": n_flows,
+        "utilization": sum(rates) / capacity_bps,
+        "fairness": jain_index(rates),
+        "max_queue_kb": topo.net.max_data_queue_bytes() / 1e3,
+        "data_drops": topo.net.total_data_drops(),
+        "topology": topology,
+        "seed": seed,
+        "agg_gbps": round(steady, 4),
+        "convergence_ms": (round(convergence_ps / MS, 3)
+                           if convergence_ps >= 0 else -1.0),
+    }
+    if chaos is not None:
+        fault_ps = min(ev.t_ps for ev in chaos.plan.events)
+        pre_bins = [gbps[i] for i in range(len(gbps))
+                    if i * bin_ps >= warmup_ps
+                    and (i + 1) * bin_ps <= fault_ps]
+        fault_bins = [gbps[i] for i in range(len(gbps))
+                      if i * bin_ps >= fault_ps]
+        pre = sum(pre_bins) / len(pre_bins) if pre_bins else 0.0
+        low = min(fault_bins) if fault_bins else 0.0
+        tail = gbps[-2:] if len(gbps) >= 2 else gbps
+        post = sum(tail) / len(tail) if tail else 0.0
+        recovery_ps = _first_sustained(gbps, 0.9 * pre, fault_ps // bin_ps,
+                                       bin_ps)
+        if recovery_ps >= 0:
+            recovery_ps -= fault_ps
+        row.update({
+            "pre_gbps": round(pre, 3),
+            "low_gbps": round(low, 3),
+            "recovered_frac": round(post / pre, 4) if pre > 0 else 0.0,
+            "recovery_ms": (round(recovery_ps / MS, 3)
+                            if recovery_ps >= 0 else -1.0),
+            "faults": len(chaos.applied),
+            "injected_credit": chaos.total_injected_credit,
+            "injected_data": chaos.total_injected_data,
+        })
+    return row
+
+
+def run_poisson(
+    protocol: str,
+    n_flows: int,
+    distribution: str = "web_search",
+    load: float = 0.6,
+    rate_bps: int = 10 * GBPS,
+    core_rate_bps: Optional[int] = None,
+    size_cap_bytes: Optional[int] = 20_000_000,
+    drain_ps: int = 1 * SEC,
+    seed: int = 1,
+    ep_profile: str = "default",
+    chaos_plan: Optional[dict] = None,
+) -> dict:
+    """One realistic-workload cell on the scaled Clos, flattened to a dict.
+
+    FCT statistics come back both overall (``avg_fct_ms``/``p99_fct_ms``
+    across every completed flow) and per Table-2 size bucket (``buckets``),
+    so the fig19 table and the matrix report both read off one shape.
+    """
+    from repro.experiments.realistic import run_realistic
+
+    result = run_realistic(
+        protocol, distribution, load, n_flows,
+        rate_bps=rate_bps, core_rate_bps=core_rate_bps, seed=seed,
+        ep_params=resolve_ep_profile(ep_profile),
+        size_cap_bytes=size_cap_bytes, drain_ps=drain_ps,
+        chaos_plan=chaos_plan)
+
+    fcts_ps = [f.fct_ps for f in result.flows
+               if f.fct_ps is not None and f.size_bytes is not None]
+    overall = FctStats.from_fcts_ps(fcts_ps) if fcts_ps else None
+    buckets = {
+        bucket: {
+            "flows": stats.count,
+            "avg_fct_ms": stats.mean_s * 1e3,
+            "p99_fct_ms": stats.p99_s * 1e3,
+        }
+        for bucket, stats in sorted(result.fct_by_bucket.items())
+    }
+    return {
+        "protocol": protocol,
+        "workload": distribution,
+        "load": load,
+        "flows": n_flows,
+        "seed": seed,
+        "completed": result.completed,
+        "avg_fct_ms": overall.mean_s * 1e3 if overall else None,
+        "p99_fct_ms": overall.p99_s * 1e3 if overall else None,
+        "avg_queue_kb": result.avg_queue_kb,
+        "max_queue_kb": result.max_queue_kb,
+        "data_drops": result.data_drops,
+        "credit_waste_ratio": result.credit_waste_ratio,
+        "buckets": buckets,
+    }

@@ -1,0 +1,80 @@
+"""Running a compiled matrix: spec in, ranked report out.
+
+This is the thin orchestration layer between the compiler and the runtime:
+it owns none of the policy.  Parallelism, caching, retries, timeouts, audit
+and metrics capture all come from the ambient
+:class:`repro.runtime.RuntimeConfig` — ``repro matrix --parallel 8 --audit``
+behaves exactly like ``repro run`` because both funnel through
+:func:`repro.runtime.run_tasks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.runtime import run_tasks
+from repro.scenarios.compiler import (
+    CompiledMatrix,
+    cell_rows,
+    compile_scenario,
+)
+from repro.scenarios.report import MatrixReport, build_report
+from repro.scenarios.schema import Scenario, SpecError
+
+
+@dataclass
+class MatrixOutcome:
+    """A finished matrix run: the cells, their results, and the report."""
+
+    matrix: CompiledMatrix
+    results: List  # ordered repro.runtime.TaskResult list
+    report: MatrixReport
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell produced a result."""
+        return all(r.error is None for r in self.results)
+
+    @property
+    def failed(self) -> List:
+        return [r for r in self.results if r.error is not None]
+
+
+def run_matrix(scenario: Scenario,
+               seeds: Optional[Sequence[int]] = None,
+               cell_filter: Optional[str] = None) -> MatrixOutcome:
+    """Compile and execute ``scenario``, then build its report.
+
+    ``seeds`` overrides the spec's seed list; ``cell_filter`` keeps only
+    matching cells (``--filter`` semantics — filtering an entire matrix
+    away is a :class:`SpecError`, since an empty run almost always means a
+    typo in the filter, not an empty intent).
+    """
+    matrix = compile_scenario(scenario, seeds=seeds)
+    if cell_filter:
+        matrix = matrix.filtered(cell_filter)
+        if not matrix.cells:
+            raise SpecError(
+                ("<filter>", f"filter {cell_filter!r} matches none of the "
+                             f"{scenario.cell_count} cell(s)"),
+                source=scenario.name)
+    results = run_tasks(matrix.plan())
+    rows = cell_rows(matrix, results)
+    meta = {
+        "cells": len(results),
+        "cached": sum(1 for r in results if r.cached),
+        "wall_s": round(sum(r.wall_s for r in results), 3),
+    }
+    spec_report = scenario.report or {}
+    coords = [axis for axis, _v in matrix.cells[0].axes] if matrix.cells \
+        else []
+    report = build_report(
+        scenario.name, rows,
+        compare=spec_report.get("compare", "transport.protocol"),
+        objectives=spec_report.get("objectives") or None,
+        meta=meta, coords=coords)
+    return MatrixOutcome(matrix=matrix, results=results, report=report)
+
+
+__all__ = ["MatrixOutcome", "run_matrix"]

@@ -23,6 +23,22 @@ def sim():
     return Simulator(seed=42)
 
 
+@pytest.fixture
+def spec_compile():
+    """Compile a scenario spec file into its cell matrix.
+
+    The doorway for spec-driven tests (``@pytest.mark.scenario``): dropping
+    a new spec into ``scenarios/`` gets it validated and compiled by
+    ``tests/test_scenarios_specs.py`` with no new test code.
+    """
+    from repro import scenarios
+
+    def _compile(path, seeds=None):
+        return scenarios.compile_scenario(scenarios.load(path), seeds=seeds)
+
+    return _compile
+
+
 def small_dumbbell(sim, n_pairs=2, rate=10 * GBPS, **spec_kwargs):
     """A 10G dumbbell with 4 us links (RTT ~26 us)."""
     spec = LinkSpec(rate_bps=rate, prop_delay_ps=4 * US, **spec_kwargs)

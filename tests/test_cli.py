@@ -111,3 +111,72 @@ class TestCacheCommand:
             assert "removed 1 entries" in capsys.readouterr().out
             assert main(["cache", "stats"]) == 0
             assert "entries:    0" in capsys.readouterr().out
+
+
+class TestScenarioCli:
+    @staticmethod
+    def _tiny_spec(tmp_path, **over):
+        spec = {
+            "schema": "repro.scenarios/v1",
+            "name": "cli-tiny",
+            "topology": {"kind": "dumbbell"},
+            "workload": {"kind": "persistent", "n_flows": 2},
+            "transport": {"protocol": "expresspass"},
+            "timing": {"warmup_ps": 2_000_000_000,
+                       "measure_ps": 2_000_000_000},
+        }
+        spec.update(over)
+        path = tmp_path / "cli-tiny.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke_mini" in out and "cell(s)" in out
+
+    def test_scenarios_validate_ok_and_bad(self, capsys, tmp_path):
+        good = self._tiny_spec(tmp_path)
+        assert main(["scenarios", "validate", str(good)]) == 0
+        assert "OK" in capsys.readouterr().out
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "repro.scenarios/v1",
+                                   "transport": {"protocol": "quic"}}))
+        assert main(["scenarios", "validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "name" in err and "transport.protocol" in err
+
+    def test_matrix_runs_and_writes_reports(self, capsys, tmp_path):
+        from repro import scenarios
+
+        spec = self._tiny_spec(tmp_path)
+        jsonl = tmp_path / "report.jsonl"
+        csv = tmp_path / "report.csv"
+        assert main(["matrix", str(spec), "--report-jsonl", str(jsonl),
+                     "--report-csv", str(csv), "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout is pure JSON
+        assert payload["scenario"] == "cli-tiny"
+        assert payload["rows"][0]["utilization"] > 0
+        stats = scenarios.validate_report_jsonl(jsonl)
+        assert stats["records"]["cell"] == 1
+        assert csv.read_text().count("\n") == 2  # header + one row
+
+    def test_matrix_set_override_and_filter(self, capsys, tmp_path):
+        spec = self._tiny_spec(
+            tmp_path, sweep={"workload.n_flows": [2, 3]})
+        assert main(["matrix", str(spec), "--filter", "n_flows=3",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 1
+        assert payload["rows"][0]["flows"] == 3
+
+    def test_matrix_bad_spec_exits_1(self, capsys, tmp_path):
+        spec = self._tiny_spec(tmp_path)
+        assert main(["matrix", str(spec), "--set",
+                     "transport.protocol=quic"]) == 1
+        assert "transport.protocol" in capsys.readouterr().err
+
+    def test_matrix_unknown_spec_exits_1(self, capsys):
+        assert main(["matrix", "fig99_imaginary"]) == 1
+        assert "fig99_imaginary" in capsys.readouterr().err

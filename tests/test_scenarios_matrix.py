@@ -1,0 +1,140 @@
+"""End-to-end matrix runs and the spec-vs-legacy bit-identity pins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import scenarios
+from repro.scenarios import Scenario, SpecError, run_matrix
+
+# Short windows keep these under a few seconds each while still running the
+# real simulator end to end.
+_WARM = 2_000_000_000  # 2 ms
+_MEAS = 2_000_000_000
+
+
+def tiny_spec(**over) -> dict:
+    spec = {
+        "schema": "repro.scenarios/v1",
+        "name": "tiny",
+        "topology": {"kind": "dumbbell"},
+        "workload": {"kind": "persistent", "n_flows": 2},
+        "transport": {"protocol": "expresspass"},
+        "timing": {"warmup_ps": _WARM, "measure_ps": _MEAS},
+        "sweep": {"transport.protocol": ["expresspass", "dctcp"]},
+        "report": {"compare": "transport.protocol"},
+    }
+    spec.update(over)
+    return spec
+
+
+class TestRunMatrix:
+    def test_end_to_end_report(self, tmp_path):
+        out = run_matrix(Scenario.from_dict(tiny_spec()))
+        assert out.ok and not out.failed
+        assert len(out.results) == 2
+        rep = out.report
+        assert {g["protocol"] for g in rep.groups} == \
+            {"expresspass", "dctcp"}
+        assert sorted(g["rank"] for g in rep.groups) == [1, 2]
+        # Every cell row carries the metrics the persistent runner emits.
+        for row in rep.rows:
+            assert {"utilization", "fairness", "max_queue_kb"} <= set(row)
+        # The report serializes and validates against its own schema.
+        dest = tmp_path / "report.jsonl"
+        scenarios.write_report_jsonl(dest, rep)
+        stats = scenarios.validate_report_jsonl(dest)
+        assert stats["records"]["cell"] == 2
+
+    def test_rerun_hits_cache(self):
+        # The odd prop delay keeps these cells distinct from every other
+        # test's — the cache key hashes fn+kwargs, not the scenario name.
+        spec = tiny_spec(name="tiny-cache",
+                         topology={"kind": "dumbbell",
+                                   "prop_delay_ps": 5_000_000})
+        first = run_matrix(Scenario.from_dict(spec))
+        assert not any(r.cached for r in first.results)
+        second = run_matrix(Scenario.from_dict(spec))
+        assert all(r.cached for r in second.results)
+        assert [r.value for r in second.results] == \
+            [r.value for r in first.results]
+
+    def test_filter_narrows_and_empty_filter_raises(self):
+        s = Scenario.from_dict(tiny_spec(name="tiny-filter"))
+        out = run_matrix(s, cell_filter="protocol=dctcp")
+        assert len(out.results) == 1
+        assert out.results[0].value["protocol"] == "dctcp"
+        with pytest.raises(SpecError) as exc:
+            run_matrix(s, cell_filter="protocol=quic")
+        assert exc.value.errors[0][0] == "<filter>"
+
+    def test_seeds_override_is_innermost(self):
+        s = Scenario.from_dict(tiny_spec(name="tiny-seeds"))
+        out = run_matrix(s, seeds=[3, 4], cell_filter="protocol=expresspass")
+        assert [r.value["seed"] for r in out.results] == [3, 4]
+
+
+class TestBitIdentity:
+    """The migrated fig15/fig19 runners must reproduce the hand-written
+    path exactly — same floats, same row order."""
+
+    def test_fig15_spec_matches_legacy(self):
+        from repro.experiments import fig15_flow_scalability as f15
+
+        kw = dict(protocols=("expresspass", "dctcp"), flow_counts=(2, 3),
+                  warmup_ps=_WARM, measure_ps=_MEAS)
+        spec_result = f15.run(**kw)
+        legacy = f15.run_legacy(**kw)
+        assert spec_result.columns == legacy.columns
+        assert spec_result.rows == legacy.rows
+
+    def test_fig15_explicit_ep_params_falls_back_to_legacy(self):
+        from repro.core.params import ExpressPassParams
+        from repro.experiments import fig15_flow_scalability as f15
+
+        custom = ExpressPassParams(w_init=0.125)
+        res = f15.run(protocols=("expresspass",), flow_counts=(2,),
+                      warmup_ps=_WARM, measure_ps=_MEAS, ep_params=custom)
+        legacy = f15.run_legacy(protocols=("expresspass",), flow_counts=(2,),
+                                warmup_ps=_WARM, measure_ps=_MEAS,
+                                ep_params=custom)
+        assert res.rows == legacy.rows
+
+    def test_fig19_spec_matches_legacy(self):
+        from repro.experiments import fig19_realistic_fct as f19
+
+        kw = dict(protocols=("expresspass", "dctcp"), n_flows=30,
+                  drain_ps=50_000_000_000)
+        spec_result = f19.run(**kw)
+        legacy = f19.run_legacy(**kw)
+        assert spec_result.columns == legacy.columns
+        assert spec_result.rows == legacy.rows
+
+
+class TestChaosCells:
+    def test_fabric_chaos_cell_reports_recovery(self):
+        spec = {
+            "schema": "repro.scenarios/v1",
+            "name": "chaos-cell",
+            "topology": {"kind": "fat_tree", "params": {"k": 4}},
+            "workload": {"kind": "persistent", "n_flows": 4},
+            "transport": {"protocol": "expresspass"},
+            "timing": {"warmup_ps": 2_000_000_000,
+                       "measure_ps": 12_000_000_000,
+                       "bin_ps": 500_000_000},
+            "chaos": {"scenario": "link-down",
+                      "fault_ps": 4_000_000_000,
+                      "duration_ps": 3_000_000_000},
+        }
+        # "link-down" is not a named scenario — assert the vocabulary error
+        # first, then run the real one.
+        with pytest.raises(SpecError):
+            Scenario.from_dict(spec)
+        spec["chaos"]["scenario"] = "link-flap"
+        out = run_matrix(Scenario.from_dict(spec))
+        assert out.ok
+        row = out.report.rows[0]
+        assert row["faults"] >= 1
+        assert row["pre_gbps"] > 0
+        # recovered_frac is post/pre goodput, so it can overshoot 1.0 a bit.
+        assert row["recovered_frac"] > 0.0
