@@ -11,11 +11,13 @@ runner for the CI perf-smoke job::
     PYTHONPATH=src python benchmarks/bench_simulator_throughput.py \
         --output BENCH_simcore.json --check benchmarks/BENCH_simcore.json
 
-It measures events/sec for three scenarios — the pure event loop, a serial
-ExpressPass dumbbell, and a small sweep on two workers — and writes them to
-a JSON report alongside the committed pre-PR baseline.  ``--check`` exits
-non-zero if any metric falls below its absolute floor or regresses more
-than 20 % against the committed report's numbers.
+It measures events/sec for the pure event loop (heap and calendar
+schedulers, sparse chain and dense many-timer shapes), a serial ExpressPass
+dumbbell, a small sweep on two workers, and fig15-style cell throughput on
+the packet vs fluid backends, then writes them to a JSON report alongside
+the committed pre-PR baseline.  ``--check`` exits non-zero if any metric
+falls below its absolute floor or regresses more than 20 % against the
+committed report's numbers.
 """
 
 from __future__ import annotations
@@ -81,13 +83,18 @@ PRE_PR_BASELINE = {
     "expresspass_dumbbell": 188_202,
 }
 
-#: Absolute floors (events/sec): ~4-5x below the optimised reference
-#: numbers, so only a catastrophic hot-path regression — not a slow CI
-#: machine — trips them.
+#: Absolute floors (events/sec; cells/sec for the fig15 keys): ~4-5x below
+#: the optimised reference numbers, so only a catastrophic hot-path
+#: regression — not a slow CI machine — trips them.
 FLOORS = {
     "event_loop": 250_000,
+    "event_loop_calendar": 80_000,
+    "event_loop_dense_heap": 90_000,
+    "event_loop_dense_calendar": 120_000,
     "expresspass_dumbbell": 60_000,
     "sweep_parallel2": 60_000,
+    "fig15_cells_packet": 0.2,
+    "fig15_cells_fluid": 20,
 }
 
 #: ``--check`` fails when a metric drops below this fraction of the
@@ -95,9 +102,13 @@ FLOORS = {
 REGRESSION_TOLERANCE = 0.8
 
 
-def _bench_event_loop() -> tuple:
-    """(events, seconds) for the 100k self-rescheduling timer chain."""
-    sim = Simulator(seed=0)
+def _bench_event_loop(sched: str = "heap") -> tuple:
+    """(events, seconds) for the 100k self-rescheduling timer chain.
+
+    A single pending event at all times: the heap's best case, kept as the
+    calendar backend's worst-case honesty row.
+    """
+    sim = Simulator(seed=0, sched=sched)
     state = {"n": 0}
 
     def tick():
@@ -109,6 +120,65 @@ def _bench_event_loop() -> tuple:
     t0 = perf_counter()
     sim.run()
     return state["n"], perf_counter() - t0
+
+
+#: Dense event-loop population: enough concurrent timers that the heap's
+#: O(log n) sift (and its cache behaviour) dominates, which is the regime
+#: the calendar queue exists for — ExpressPass at fabric scale keeps a
+#: pending credit event per flow.
+_DENSE_TIMERS = 524_288
+_DENSE_EVENTS = 400_000
+
+
+def _dense_run(sched: str) -> tuple:
+    """(events, seconds) with ``_DENSE_TIMERS`` concurrent periodic timers.
+
+    The ticks do nothing but reschedule — the queue operations are the
+    thing under test — and only the run loop is timed; the initial
+    scheduling burst is setup.  The half-million live closures and entry
+    tuples are frozen out of the collector for the timed region: cyclic-GC
+    traversals otherwise dwarf the queue-op difference being measured.
+    """
+    import gc
+
+    sim = Simulator(seed=0, sched=sched)
+
+    def mk(period):
+        def tick():
+            sim.schedule(period, tick)
+        return tick
+
+    for i in range(_DENSE_TIMERS):
+        sim.schedule(i * 7 + 1, mk(999_983 + 13 * (i % 29)))
+    gc.collect()
+    gc.freeze()
+    t0 = perf_counter()
+    processed = sim.run(max_events=_DENSE_EVENTS)
+    elapsed = perf_counter() - t0
+    gc.unfreeze()
+    return processed, elapsed
+
+
+#: Partner results queued by the interleaved dense measurement below.
+_dense_pending = {"heap": [], "calendar": []}
+
+
+def _bench_dense_event_loop(sched: str) -> tuple:
+    """One dense round per scheduler, measured back-to-back.
+
+    The heap-vs-calendar ratio is the point of these two rows, and on a
+    shared CI machine throughput drifts by tens of percent between
+    measurement moments — so each call times *both* schedulers adjacently
+    and queues the partner's result for the partner's next call, keeping
+    every compared pair temporally local.
+    """
+    pending = _dense_pending[sched]
+    if pending:
+        return pending.pop(0)
+    other = "calendar" if sched == "heap" else "heap"
+    mine = _dense_run(sched)
+    _dense_pending[other].append(_dense_run(other))
+    return mine
 
 
 def _dumbbell_events(seed: int = 1, n_pairs: int = 2, run_ms: int = 5) -> int:
@@ -157,10 +227,36 @@ def _bench_sweep_parallel2() -> tuple:
     return events, elapsed
 
 
+#: fig15-style grid both backends run for the cells/sec comparison.
+_FIG15_GRID = (("expresspass", 4), ("expresspass", 16), ("dctcp", 4))
+
+
+def _bench_fig15_cells(backend: str) -> tuple:
+    """(cells, seconds) for a small fig15-style persistent-flow grid.
+
+    The fluid backend's reason to exist is scanning grids like this far
+    faster than packet level; the committed report pins the speedup.
+    """
+    from repro.scenarios.cells import run_persistent
+    from repro.sim.fluid.cells import run_fluid
+
+    fn = run_fluid if backend == "fluid" else run_persistent
+    t0 = perf_counter()
+    for protocol, n_flows in _FIG15_GRID:
+        fn(protocol=protocol, n_flows=n_flows,
+           warmup_ps=2 * MS, measure_ps=2 * MS)
+    return len(_FIG15_GRID), perf_counter() - t0
+
+
 SCENARIOS = {
     "event_loop": _bench_event_loop,
+    "event_loop_calendar": lambda: _bench_event_loop("calendar"),
+    "event_loop_dense_heap": lambda: _bench_dense_event_loop("heap"),
+    "event_loop_dense_calendar": lambda: _bench_dense_event_loop("calendar"),
     "expresspass_dumbbell": _bench_dumbbell,
     "sweep_parallel2": _bench_sweep_parallel2,
+    "fig15_cells_packet": lambda: _bench_fig15_cells("packet"),
+    "fig15_cells_fluid": lambda: _bench_fig15_cells("fluid"),
 }
 
 
@@ -172,8 +268,9 @@ def measure(rounds: int = 3) -> dict:
         for _ in range(max(1, rounds)):
             events, secs = fn()
             best = max(best, events / secs)
-        current[name] = round(best)
-        print(f"  {name:<22s} {current[name]:>12,} events/s", file=sys.stderr)
+        # Cell-throughput rows can be fractional; keep their precision.
+        current[name] = round(best) if best >= 1000 else round(best, 2)
+        print(f"  {name:<26s} {current[name]:>12,} /s", file=sys.stderr)
     return current
 
 
@@ -217,6 +314,18 @@ def main(argv=None) -> int:
         "speedup_vs_pre_pr": {
             name: round(current[name] / base, 2)
             for name, base in PRE_PR_BASELINE.items() if name in current
+        },
+        # The two structural claims the scheduler/fluid work makes: the
+        # calendar queue out-runs the heap once the pending set is dense,
+        # and the fluid backend scans fig15-style grids orders of
+        # magnitude faster than packet level.
+        "speedups": {
+            "calendar_vs_heap_dense_event_loop": round(
+                current["event_loop_dense_calendar"]
+                / current["event_loop_dense_heap"], 2),
+            "fluid_vs_packet_fig15_cells": round(
+                current["fig15_cells_fluid"]
+                / current["fig15_cells_packet"], 1),
         },
     }
     text = json.dumps(report, indent=2, sort_keys=True) + "\n"

@@ -149,6 +149,10 @@ def main(argv=None) -> int:
 
     runp = sub.add_parser("run", help="run one experiment and print its table")
     _add_run_options(runp)
+    runp.add_argument("--backend", choices=("packet", "fluid"), default=None,
+                      help="engine backend for experiments with a fluid "
+                           "trend mode (fig15/fig16/fig18); 'fluid' trades "
+                           "per-packet fidelity for a 10x+ faster sweep")
     runp.add_argument("--profile", action="store_true",
                       help="profile the simulation event loop "
                            "(repro.perf.profile) and print a per-subsystem "
@@ -191,6 +195,10 @@ def main(argv=None) -> int:
     matrixp.add_argument("spec",
                          help="spec file path, or a bundled scenarios/ name "
                               "(see 'scenarios list')")
+    matrixp.add_argument("--backend", choices=("packet", "fluid"),
+                         default=None,
+                         help="override the spec's engine backend "
+                              "(shorthand for --set backend=...)")
     matrixp.add_argument("--seeds", default=None, metavar="S1,S2,...",
                          help="override the spec's seed list")
     matrixp.add_argument("--filter", default=None, metavar="EXPR",
@@ -328,6 +336,8 @@ def main(argv=None) -> int:
         try:
             spec_path = sc.resolve_spec(args.spec)
             scenario = sc.load(spec_path)
+            if args.backend:
+                args.set.insert(0, f"backend={args.backend}")
             if args.set:
                 data = scenario.to_dict()
                 for item in args.set:
@@ -504,6 +514,11 @@ def main(argv=None) -> int:
         overrides[key] = _parse_value(raw)
 
     fn = registry[args.experiment]
+    if getattr(args, "backend", None):
+        if "backend" not in inspect.signature(fn).parameters:
+            parser.error(f"{args.experiment} has no fluid trend mode; "
+                         f"--backend applies to fig15, fig16, and fig18")
+        overrides["backend"] = args.backend
     if args.seed is not None:
         params = inspect.signature(fn).parameters
         if ("seed" in params

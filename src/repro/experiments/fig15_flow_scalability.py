@@ -93,14 +93,21 @@ def scenario_dict(
     warmup_ps: int = 50 * MS,
     measure_ps: int = 50 * MS,
     seed: int = 1,
+    backend: str = "packet",
 ) -> dict:
-    """This figure as a scenario spec (protocol outer axis, N inner)."""
+    """This figure as a scenario spec (protocol outer axis, N inner).
+
+    ``backend="fluid"`` selects the rate-evolution engine — the 10×+
+    faster trend mode for scanning wide (protocol, N) grids before paying
+    for packet-level confirmation.
+    """
     from repro.scenarios.schema import SCHEMA
 
     return {
         "schema": SCHEMA,
         "name": "fig15",
         "description": "Fig 15 flow scalability on a shared dumbbell",
+        "backend": backend,
         "topology": {"kind": "dumbbell", "rate_bps": rate_bps},
         "workload": {"kind": "persistent"},
         "timing": {"warmup_ps": warmup_ps, "measure_ps": measure_ps},
@@ -113,17 +120,22 @@ def scenario_dict(
 def run(
     protocols: Sequence[str] = ("expresspass", "dctcp", "rcp"),
     flow_counts: Sequence[int] = (4, 16, 64, 256),
+    backend: str = "packet",
     **kwargs,
 ) -> ExperimentResult:
     """Spec-compiled path: build the scenario, compile, run, shape rows.
 
     An explicit ``ep_params`` object cannot be expressed as spec data (specs
     name profiles, not parameter objects), so that case falls back to the
-    hand-written sweep.
+    hand-written sweep.  ``backend="fluid"`` runs the same grid on the
+    rate-evolution engine (trend mode).
     """
     if kwargs.get("ep_params") is not None:
+        if backend != "packet":
+            raise ValueError("explicit ep_params require the packet backend")
         return run_legacy(protocols, flow_counts, **kwargs)
     kwargs.pop("ep_params", None)
+    kwargs["backend"] = backend
     from repro.runtime import SweepError, run_tasks
     from repro.scenarios.compiler import compile_scenario
     from repro.scenarios.schema import Scenario

@@ -85,34 +85,54 @@ def run_point_labeled(label: str, **kwargs) -> dict:
     return row
 
 
+def run_point_labeled_fluid(label: str, **kwargs) -> dict:
+    """Fluid trend-mode sweep task: same row shape, no packet events."""
+    from repro.sim.fluid import fluid_join_convergence
+
+    kwargs.pop("seed", None)   # the fluid join is deterministic
+    row = fluid_join_convergence(**kwargs)
+    row["protocol"] = label
+    return row
+
+
 def run(
     protocols: Sequence[str] = ("expresspass", "dctcp", "rcp"),
     rates_gbps: Sequence[int] = (10, 100),
     alpha_variants: Sequence[float] = (0.5, 1 / 16),
+    backend: str = "packet",
     **kwargs,
 ) -> ExperimentResult:
+    """``backend="fluid"`` replays the join in the rate-evolution model:
+    the convergence-class trend (ExpressPass/RCP a few RTTs, DCTCP far
+    more; α halving roughly doubling it) at a fraction of the cost."""
+    fluid = backend == "fluid"
     points = []
     for rate in rates_gbps:
         for protocol in protocols:
             if protocol == "expresspass":
                 for alpha in alpha_variants:
-                    params = ExpressPassParams().with_alpha(alpha, alpha)
-                    points.append({"label": f"expresspass(a={alpha:g})",
-                                   "protocol": protocol,
-                                   "rate_bps": rate * GBPS,
-                                   "ep_params": params})
+                    pt = {"label": f"expresspass(a={alpha:g})",
+                          "protocol": protocol,
+                          "rate_bps": rate * GBPS}
+                    if fluid:
+                        pt["alpha"] = alpha
+                    else:
+                        pt["ep_params"] = \
+                            ExpressPassParams().with_alpha(alpha, alpha)
+                    points.append(pt)
             else:
                 points.append({"label": protocol, "protocol": protocol,
                                "rate_bps": rate * GBPS})
     rows = run_sweep(
-        run_point_labeled,
+        run_point_labeled_fluid if fluid else run_point_labeled,
         points,
         common=kwargs,
         name="fig16",
         label=lambda pt: f"{pt['label']}@{pt['rate_bps'] // 10**9}G",
     )
     return ExperimentResult(
-        name="Fig 16 convergence time vs link speed",
+        name="Fig 16 convergence time vs link speed"
+             + (" (fluid trend mode)" if fluid else ""),
         columns=["protocol", "rate_gbps", "convergence_rtts", "converged"],
         rows=rows,
     )

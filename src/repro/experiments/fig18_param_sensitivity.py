@@ -43,15 +43,30 @@ def run_point(alpha: float, w_init: float, workload: str, load: float,
     return row
 
 
+def run_point_fluid(alpha: float, w_init: float, workload: str, load: float,
+                    n_flows: int, **kwargs) -> dict:
+    """Fluid trend-mode cell: flow-level processor sharing, same row shape."""
+    from repro.sim.fluid import fluid_fct_point
+
+    allowed = ("rate_bps", "seed", "size_cap_bytes", "base_rtt_ps")
+    kwargs = {k: v for k, v in kwargs.items() if k in allowed}
+    return fluid_fct_point(alpha, w_init, workload, load, n_flows, **kwargs)
+
+
 def run(
     sweep: Sequence[Tuple[float, float]] = DEFAULT_SWEEP,
     workload: str = "cache_follower",
     load: float = 0.6,
     n_flows: int = 1000,
+    backend: str = "packet",
     **kwargs,
 ) -> ExperimentResult:
+    """``backend="fluid"`` scans the (α, w_init) grid with the flow-level
+    fluid model — the short-flow-vs-elephant trade-off trend without a
+    packet-level Clos run per cell."""
+    fluid = backend == "fluid"
     rows = run_sweep(
-        run_point,
+        run_point_fluid if fluid else run_point,
         [{"alpha": alpha, "w_init": w_init} for alpha, w_init in sweep],
         common={"workload": workload, "load": load, "n_flows": n_flows,
                 **kwargs},
@@ -60,7 +75,8 @@ def run(
                          f",w=1/{round(1 / pt['w_init'])}",
     )
     return ExperimentResult(
-        name=f"Fig 18 (α, w_init) sensitivity — p99 FCT ({workload}, load {load})",
+        name=f"Fig 18 (α, w_init) sensitivity — p99 FCT ({workload}, load {load})"
+             + (" (fluid trend mode)" if fluid else ""),
         columns=["alpha", "w_init", "p99_fct_S_ms", "p99_fct_L_ms", "credit_waste"],
         rows=rows,
     )

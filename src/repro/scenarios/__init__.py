@@ -19,12 +19,14 @@ validates, :mod:`~repro.scenarios.loader` parses files,
 """
 
 from repro.scenarios.schema import (  # noqa: F401
+    BACKENDS,
     SCHEMA,
     SWEEP_AXES,
     Scenario,
     SpecError,
     TOPOLOGY_KINDS,
     WORKLOAD_KINDS,
+    fluid_blockers,
 )
 from repro.scenarios.loader import (  # noqa: F401
     dumps,
@@ -55,8 +57,8 @@ from repro.scenarios.report import (  # noqa: F401
 )
 
 __all__ = [
-    "SCHEMA", "SWEEP_AXES", "TOPOLOGY_KINDS", "WORKLOAD_KINDS",
-    "Scenario", "SpecError",
+    "BACKENDS", "SCHEMA", "SWEEP_AXES", "TOPOLOGY_KINDS", "WORKLOAD_KINDS",
+    "Scenario", "SpecError", "fluid_blockers",
     "load", "loads", "dumps", "lint", "library_dir", "iter_library",
     "resolve_spec",
     "Cell", "CompiledMatrix", "compile_scenario", "cell_rows", "match_cell",

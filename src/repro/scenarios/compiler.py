@@ -148,6 +148,14 @@ def _lower_cell(scenario: Scenario, seed: int) -> TaskSpec:
         }
         if topo["params"]:
             kwargs["topo_params"] = dict(topo["params"])
+        if scenario.backend == "fluid":
+            # Same kwargs, different cell function: the fluid task keys
+            # differ from the packet task's only through the function
+            # reference, so packet fingerprints are untouched by the
+            # backend field's existence.  Validation guarantees no chaos
+            # plan reaches a fluid cell.
+            from repro.sim.fluid import cells as fluid_cells
+            return TaskSpec(fluid_cells.run_fluid, kwargs)
         if chaos_plan is not None:
             kwargs["chaos_plan"] = chaos_plan
         return TaskSpec(cells.run_persistent, kwargs)

@@ -46,6 +46,12 @@ TOPOLOGY_KINDS: Dict[str, Tuple[str, ...]] = {
 #: (Fig 18-21 / Table 3 style).
 WORKLOAD_KINDS = ("persistent", "poisson")
 
+#: Engine backends a spec may select.  ``packet`` is the event-driven
+#: simulator (ground truth); ``fluid`` is the discrete-time rate-evolution
+#: model (:mod:`repro.sim.fluid`) — 10×+ faster, valid only where no
+#: per-packet feature is needed (see :func:`fluid_blockers`).
+BACKENDS = ("packet", "fluid")
+
 #: ExpressPass parameter profiles a spec may select (resolved inside the
 #: cell function so specs stay pure data).
 EP_PROFILES = ("default", "realistic")
@@ -53,6 +59,7 @@ EP_PROFILES = ("default", "realistic")
 #: Dotted paths a ``sweep:`` section may vary.  ``seeds`` is an implicit
 #: final axis and must not be listed here.
 SWEEP_AXES = (
+    "backend",
     "transport.protocol",
     "transport.ep_profile",
     "workload.n_flows",
@@ -72,8 +79,9 @@ SWEEP_AXES = (
     "chaos.duration_ps",
 )
 
-_TOP_KEYS = ("schema", "name", "description", "tags", "topology", "workload",
-             "transport", "timing", "chaos", "seeds", "sweep", "report")
+_TOP_KEYS = ("schema", "name", "description", "tags", "backend", "topology",
+             "workload", "transport", "timing", "chaos", "seeds", "sweep",
+             "report")
 
 _TIMING_KEYS = {
     "persistent": ("warmup_ps", "measure_ps", "bin_ps"),
@@ -122,6 +130,7 @@ class Scenario:
     name: str
     description: str = ""
     tags: Tuple[str, ...] = ()
+    backend: str = "packet"
     topology: Dict[str, Any] = field(default_factory=dict)
     workload: Dict[str, Any] = field(default_factory=dict)
     transport: Dict[str, Any] = field(default_factory=dict)
@@ -142,6 +151,7 @@ class Scenario:
             "name": self.name,
             "description": self.description,
             "tags": list(self.tags),
+            "backend": self.backend,
             "topology": dict(self.topology),
             "workload": dict(self.workload),
             "transport": dict(self.transport),
@@ -400,6 +410,41 @@ def _validate_chaos(chk: _Check, data: dict, topology: dict,
     return out
 
 
+def fluid_blockers(workload: Dict[str, Any],
+                   chaos: Optional[Dict[str, Any]]) -> List[str]:
+    """Why the fluid backend cannot run this scenario (empty = it can).
+
+    The fluid model has no per-packet events, so anything that *is* a
+    per-packet feature blocks it: Poisson flow arrivals with FCT accounting
+    (each flow's completion is a packet-level fact) and chaos fault
+    injection (loss bursts, link flaps act on packets in flight).  The
+    schema refuses such specs eagerly; the spec-driven test suite uses the
+    same list to skip fluid compilation with a reason.
+    """
+    reasons = []
+    if workload.get("kind") != "persistent":
+        reasons.append("workload.kind: fluid models persistent rate "
+                       "evolution only; poisson FCT needs per-packet events")
+    if chaos is not None:
+        reasons.append("chaos: fault injection acts on packets in flight; "
+                       "use the packet backend")
+    return reasons
+
+
+def _validate_backend(chk: _Check, data: dict, workload: dict,
+                      chaos: Optional[dict]) -> str:
+    backend = data.get("backend", "packet")
+    if backend not in BACKENDS:
+        chk.fail("backend",
+                 f"unknown backend {backend!r}; choose from {BACKENDS}")
+        return "packet"
+    if backend == "fluid":
+        for reason in fluid_blockers(workload, chaos):
+            fld, _, msg = reason.partition(": ")
+            chk.fail(fld, f"backend 'fluid' unavailable: {msg}")
+    return backend
+
+
 def _validate_seeds(chk: _Check, data: dict) -> Tuple[int, ...]:
     seeds = data.get("seeds", [1])
     if isinstance(seeds, bool) or isinstance(seeds, int):
@@ -538,11 +583,13 @@ def _validate(data: Any, source: str,
     transport = _validate_transport(chk, data)
     timing = _validate_timing(chk, data, workload["kind"])
     chaos = _validate_chaos(chk, data, topology, base_dir)
+    backend = _validate_backend(chk, data, workload, chaos)
     seeds = _validate_seeds(chk, data)
     sweep = _validate_sweep(chk, data, source, data, base_dir)
     report = _validate_report(chk, data, sweep)
     chk.raise_if_failed()
     return Scenario(name=name, description=description, tags=tuple(tags),
-                    topology=topology, workload=workload, transport=transport,
-                    timing=timing, chaos=chaos, seeds=seeds, sweep=sweep,
-                    report=report, base_dir=base_dir)
+                    backend=backend, topology=topology, workload=workload,
+                    transport=transport, timing=timing, chaos=chaos,
+                    seeds=seeds, sweep=sweep, report=report,
+                    base_dir=base_dir)

@@ -1,0 +1,250 @@
+"""Calendar-queue event scheduler: O(1) amortized hold for regular traffic.
+
+A calendar queue (Brown, CACM 1988) spreads pending events over an array of
+*buckets*, each covering a fixed slice of simulated time (the *bucket
+width*).  Time wraps around the array like days around a wall calendar:
+bucket ``i`` holds every event whose timestamp falls in year-slice
+``[i*w, (i+1)*w) mod n*w``.  When event timestamps are regular — and credit
+pacing in ExpressPass makes them extremely regular — enqueue and dequeue
+are O(1) amortized, versus the binary heap's O(log n).
+
+Entries are the engine's exact ``(time, sequence, event)`` tuples and every
+comparison is on that tuple, so the drain order is the same strict total
+order the heap uses: time-ascending, FIFO within a timestamp.  That is the
+whole equivalence argument — any scheduler that pops this key order drains
+identically — and ``tests/test_calendar.py`` enforces it with a randomized
+differential oracle against the heap.
+
+The queue is self-tuning: when occupancy drifts past the resize thresholds
+the bucket array doubles or halves and the width is re-estimated from the
+observed inter-event gaps near the head of the queue, keeping roughly
+``_TARGET_OCC`` events per bucket regardless of event-rate drift.  Unlike
+Brown's one-event-per-bucket tuning, fat buckets are deliberate: in CPython
+the expensive unit is the interpreted scan step, while within-bucket
+``insort``/``pop(0)`` run at C speed, and a ~16× smaller bucket array stays
+cache-resident at million-event populations (where this queue overtakes the
+C-accelerated heap).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Iterator, List, Optional, Tuple
+
+#: Head-of-queue sample size for the width estimate at resize.
+_WIDTH_SAMPLE = 32
+#: Events per bucket the tuning aims for.  Brown's classic analysis targets
+#: ~1, minimizing comparisons; in CPython the expensive unit is instead the
+#: interpreted scan iteration, while within-bucket work (``insort``,
+#: ``list.pop(0)``) runs at C speed.  Fat buckets buy one scan step per
+#: ``_TARGET_OCC`` pops and keep the bucket array small enough to stay
+#: cache-resident even with a million pending events.
+_TARGET_OCC = 16
+#: A popped bucket longer than this hints the width is stale (event gaps
+#: shrank since the last resize, piling far too many events per bucket) and
+#: triggers a same-size rebuild to re-estimate it — rate-limited to one
+#: rebuild per queue turnover so the O(size) rebuild amortizes to O(1) per
+#: pop even when the pile-up is irreducible (same-timestamp ties).
+_RETUNE_LEN = 8 * _TARGET_OCC
+
+
+class CalendarQueue:
+    """A priority queue of ``(time, seq, event)`` tuples, calendar-bucketed.
+
+    Drop-in ordering replacement for the engine's heap: ``push`` accepts the
+    same entries, ``pop`` returns them in ``(time, seq)`` order.  Not
+    thread-safe (neither is the engine).
+    """
+
+    __slots__ = ("_buckets", "_n", "_width", "_cursor", "_top", "_size",
+                 "_grow_at", "_shrink_at", "_pops_since_rebuild")
+
+    def __init__(self, width: int = 1 << 10, n_buckets: int = 8):
+        if width < 1:
+            raise ValueError(f"bucket width must be >= 1, got {width}")
+        if n_buckets < 2:
+            raise ValueError(f"need >= 2 buckets, got {n_buckets}")
+        self._width = width
+        self._n = n_buckets
+        self._buckets: List[List[tuple]] = [[] for _ in range(n_buckets)]
+        self._size = 0
+        #: Bucket the current virtual clock position falls in, and the
+        #: exclusive upper time edge of that bucket in the current year.
+        self._cursor = 0
+        self._top = width
+        self._grow_at = 2 * _TARGET_OCC * n_buckets
+        self._shrink_at = _TARGET_OCC * n_buckets // 4
+        self._pops_since_rebuild = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[tuple]:
+        """All pending entries, in no particular order (compaction scan)."""
+        for bucket in self._buckets:
+            yield from bucket
+
+    # -- core operations --------------------------------------------------
+    def push(self, entry: tuple) -> None:
+        """Insert an entry; O(1) amortized for well-tuned widths."""
+        width = self._width
+        slot = entry[0] // width
+        insort(self._buckets[slot % self._n], entry)
+        self._size += 1
+        # Pop's year scan assumes no pending entry precedes the cursor's
+        # window.  An entry earlier than the current virtual-clock window
+        # (possible right after a resize repositioned the cursor at the
+        # then-minimum) would be scanned *last*, so rewind to its window.
+        if entry[0] < self._top - width:
+            self._cursor = slot % self._n
+            self._top = (slot + 1) * width
+        if self._size > self._grow_at:
+            self._rebuild(self._n * 2)
+
+    def pop(self) -> tuple:
+        """Remove and return the minimum entry by ``(time, seq)``."""
+        size = self._size
+        if not size:
+            raise IndexError("pop from an empty CalendarQueue")
+        buckets = self._buckets
+        i = self._cursor
+        top = self._top
+        # Fast path: the cursor bucket still holds in-window events — with
+        # fat buckets (``_TARGET_OCC``) this is where almost every pop
+        # lands, and nothing about the cursor needs to move.
+        bucket = buckets[i]
+        if bucket and bucket[0][0] < top:
+            self._size = size = size - 1
+            self._pops_since_rebuild += 1
+            entry = bucket.pop(0)
+            if size < self._shrink_at:
+                self._rebuild(self._n // 2)
+            elif (len(bucket) >= _RETUNE_LEN
+                    and self._pops_since_rebuild >= size):
+                # Overfull bucket: the width is stale for the current
+                # event-gap regime (e.g. tuned during a sparse warmup,
+                # now drowning in dense steady-state traffic).
+                self._rebuild(self._n)
+            return entry
+        width = self._width
+        n = self._n
+        # Scan one calendar year from the cursor: buckets are visited in
+        # increasing time-window order, so the first in-window head is the
+        # global minimum.  Each bucket is kept sorted, so its head is its
+        # own minimum, and a head beyond ``top`` belongs to a later year.
+        for _ in range(n):
+            bucket = buckets[i]
+            if bucket and bucket[0][0] < top:
+                self._cursor = i
+                self._top = top
+                self._size -= 1
+                self._pops_since_rebuild += 1
+                entry = bucket.pop(0)
+                if self._size < self._shrink_at:
+                    self._rebuild(self._n // 2)
+                return entry
+            i += 1
+            if i == n:
+                i = 0
+            top += width
+        # Sparse queue: nothing within a whole year of the cursor.  Jump
+        # straight to the globally minimal head (a "direct search").
+        best: Optional[tuple] = None
+        best_bucket: Optional[List[tuple]] = None
+        for bucket in buckets:
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+                best_bucket = bucket
+        assert best is not None and best_bucket is not None
+        slot = best[0] // width
+        self._cursor = slot % n
+        self._top = (slot + 1) * width
+        self._size -= 1
+        self._pops_since_rebuild += 1
+        best_bucket.pop(0)
+        if self._size < self._shrink_at:
+            self._rebuild(self._n // 2)
+        return best
+
+    def peek(self) -> tuple:
+        """The minimum entry without removing it (O(n_buckets))."""
+        if not self._size:
+            raise IndexError("peek on an empty CalendarQueue")
+        best: Optional[tuple] = None
+        for bucket in self._buckets:
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+        assert best is not None
+        return best
+
+    def reload(self, entries: List[tuple]) -> None:
+        """Replace the contents wholesale (engine compaction).
+
+        Re-tunes bucket count and width for the new population, exactly as
+        a resize would.  Pop order over the surviving entries is unchanged:
+        ordering is a property of the ``(time, seq)`` keys, not of bucket
+        layout.
+        """
+        self._size = len(entries)
+        n = max(2, 1 << max(0, self._size // _TARGET_OCC - 1).bit_length())
+        self._rebuild(n, entries)
+
+    # -- tuning ------------------------------------------------------------
+    def _rebuild(self, n_buckets: int,
+                 entries: Optional[List[tuple]] = None) -> None:
+        """Re-bucket everything into ``n_buckets`` with a re-estimated width."""
+        if n_buckets < 2:
+            return
+        if entries is None:
+            entries = [e for bucket in self._buckets for e in bucket]
+        self._width = width = self._estimate_width(entries)
+        self._n = n_buckets
+        self._grow_at = 2 * _TARGET_OCC * n_buckets
+        self._shrink_at = _TARGET_OCC * n_buckets // 4
+        self._pops_since_rebuild = 0
+        buckets = [[] for _ in range(n_buckets)]
+        for entry in entries:
+            insort(buckets[(entry[0] // width) % n_buckets], entry)
+        self._buckets = buckets
+        if entries:
+            slot = min(entry[0] for entry in entries) // width
+            self._cursor = slot % n_buckets
+            self._top = (slot + 1) * width
+        else:
+            self._cursor = 0
+            self._top = width
+
+    def _estimate_width(self, entries: List[tuple]) -> int:
+        """Bucket width from observed inter-event gaps near the queue head.
+
+        ``_TARGET_OCC`` times the mean positive gap among the
+        ``_WIDTH_SAMPLE`` earliest pending events, so one bucket covers
+        about ``_TARGET_OCC`` events and one year covers about the whole
+        pending span.  Same-timestamp clusters (credit ties) contribute no
+        gap; if every sampled gap is zero the current width is kept — there
+        is nothing to learn from a single instant.
+        """
+        if len(entries) < 2:
+            return self._width
+        sample = heapq.nsmallest(_WIDTH_SAMPLE, entries)
+        gaps = [b[0] - a[0] for a, b in zip(sample, sample[1:]) if b[0] > a[0]]
+        if not gaps:
+            return self._width
+        return max(1, _TARGET_OCC * sum(gaps) // len(gaps))
+
+    # -- introspection (stats / tests) -------------------------------------
+    @property
+    def bucket_width(self) -> int:
+        return self._width
+
+    @property
+    def n_buckets(self) -> int:
+        return self._n
+
+    def layout(self) -> Tuple[int, int, List[int]]:
+        """(width, n_buckets, per-bucket occupancy) — debugging aid."""
+        return self._width, self._n, [len(b) for b in self._buckets]
+
+
+__all__ = ["CalendarQueue"]

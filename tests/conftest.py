@@ -30,11 +30,22 @@ def spec_compile():
     The doorway for spec-driven tests (``@pytest.mark.scenario``): dropping
     a new spec into ``scenarios/`` gets it validated and compiled by
     ``tests/test_scenarios_specs.py`` with no new test code.
+
+    ``backend`` overrides the spec's engine choice ("packet"/"fluid")
+    before validation, so every bundled spec can be compiled under both
+    backends; validation still rejects combinations the fluid model cannot
+    express (``scenarios.fluid_blockers``).
     """
     from repro import scenarios
 
-    def _compile(path, seeds=None):
-        return scenarios.compile_scenario(scenarios.load(path), seeds=seeds)
+    def _compile(path, seeds=None, backend=None):
+        scenario = scenarios.load(path)
+        if backend is not None and backend != scenario.backend:
+            data = scenario.to_dict()
+            data["backend"] = backend
+            scenario = scenarios.Scenario.from_dict(
+                data, source=str(path), base_dir=scenario.base_dir)
+        return scenarios.compile_scenario(scenario, seeds=seeds)
 
     return _compile
 

@@ -1,0 +1,272 @@
+"""Calendar-queue scheduler: differential oracle against the heap.
+
+The calendar backend's contract is *bit-identity*: any scheduler that pops
+the engine's ``(time, seq, event)`` entries in strict ``(time, seq)`` order
+drains identically to the heap.  This suite enforces that three ways:
+
+- property tests on :class:`CalendarQueue` itself (random push/pop/reload
+  programs against a sorted-list reference, resize churn included);
+- a hypothesis-driven differential oracle running randomized *dynamic*
+  schedule/cancel programs — callbacks scheduling more work, deferred
+  cancellation, compaction forced mid-run — on heap and calendar engines
+  and comparing the full fired sequences;
+- the golden-trace suite re-run under ``REPRO_SCHED=calendar``, asserting
+  the stored packet digests are reproduced bit-for-bit.
+
+Plus pinned regressions for the two subtle spots: FIFO tie-break among
+same-timestamp events surviving a compaction rebuild, and a push landing
+*behind* the cursor window right after a resize repositioned it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro import perf
+from repro.sim.calendar import CalendarQueue
+from repro.sim.engine import Simulator
+
+# -- CalendarQueue vs a heap reference ---------------------------------------
+
+times = st.integers(min_value=0, max_value=10**7)
+
+
+@given(st.lists(times, max_size=300))
+@settings(max_examples=60, deadline=None, database=None)
+def test_bulk_pushes_pop_in_key_order(ts):
+    q = CalendarQueue()
+    for seq, t in enumerate(ts):
+        q.push((t, seq, None))
+    assert len(q) == len(ts)
+    out = [q.pop() for _ in range(len(ts))]
+    assert out == sorted((t, seq, None) for seq, t in enumerate(ts))
+    assert len(q) == 0
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+@given(st.lists(st.one_of(times, st.none()), max_size=400),
+       st.integers(min_value=2, max_value=50))
+@settings(max_examples=60, deadline=None, database=None)
+def test_interleaved_program_matches_heap(ops, reload_every):
+    """Random push/pop/reload interleavings drain exactly like a heap.
+
+    ``None`` ops pop, integers push (clamped to >= the last popped time,
+    the engine's no-scheduling-into-the-past invariant).  Every
+    ``reload_every`` ops the calendar is reloaded from its surviving
+    entries — the engine's compaction path — which must not disturb order.
+    """
+    q = CalendarQueue()
+    ref: list = []
+    seq = itertools.count()
+    now = 0
+    for i, op in enumerate(ops):
+        if op is None:
+            if not ref:
+                continue
+            expect = heapq.heappop(ref)
+            got = q.pop()
+            assert got == expect
+            now = got[0]
+        else:
+            entry = (now + op, next(seq), None)
+            q.push(entry)
+            heapq.heappush(ref, entry)
+        if i % reload_every == reload_every - 1:
+            q.reload(list(q))
+        assert len(q) == len(ref)
+    while ref:
+        assert q.pop() == heapq.heappop(ref)
+
+
+def test_peek_agrees_with_pop():
+    q = CalendarQueue()
+    for seq, t in enumerate([900, 5, 5, 70_000, 12]):
+        q.push((t, seq, None))
+    while len(q):
+        assert q.peek() == q.pop()
+    with pytest.raises(IndexError):
+        q.peek()
+
+
+def test_resize_churn_preserves_order():
+    """Grow across several doublings, then drain through the shrinks."""
+    q = CalendarQueue()
+    entries = [(t * 97, seq, None) for seq, t in enumerate(range(3000))]
+    for e in entries:
+        q.push(e)
+    assert q.n_buckets > 8          # the churn actually happened
+    assert [q.pop() for _ in entries] == entries
+
+
+def test_push_behind_cursor_after_rebuild_pops_first():
+    """Regression: a resize repositions the cursor at the then-minimum; a
+    later push of an *earlier* timestamp must rewind it, not be scanned a
+    year late."""
+    q = CalendarQueue()
+    for seq, t in enumerate(range(1000, 1000 + 200 * 137, 137)):
+        q.push((t, seq, None))
+    for _ in range(10):
+        q.pop()                     # advance the cursor into later windows
+    q.push((0, 10**6, None))        # earlier than everything pending
+    assert q.pop() == (0, 10**6, None)
+
+
+def test_sparse_year_wrap_direct_search():
+    """Entries many years apart exercise the direct-search fallback."""
+    q = CalendarQueue(width=4, n_buckets=2)
+    entries = [(t * 10**6, seq, None) for seq, t in enumerate(range(20))]
+    for e in reversed(entries):
+        q.push(e)
+    got = [q.pop() for _ in entries]
+    assert [g[0] for g in got] == sorted(g[0] for g in got)
+
+
+# -- differential oracle: heap engine vs calendar engine ---------------------
+
+@st.composite
+def programs(draw):
+    """A deterministic dynamic schedule/cancel program.
+
+    ``init`` seeds the queue; ``spawn[k]`` dictates what the k-th fired
+    callback does: how many children to schedule, at what base delay, via
+    which scheduling API, and whether to cancel the oldest live handle.
+    Small delay scales make same-timestamp ties common.
+    """
+    scale = draw(st.sampled_from([1, 3, 1000]))
+    init = draw(st.lists(st.integers(0, 40), min_size=1, max_size=12))
+    spawn = draw(st.lists(
+        st.tuples(st.integers(0, 3),        # children per firing
+                  st.integers(0, 50),       # child delay base
+                  st.booleans()),           # cancel the oldest handle?
+        max_size=120))
+    return scale, init, spawn
+
+
+def _run_program(sched, program, max_events=400):
+    scale, init, spawn = program
+    sim = Simulator(seed=0, sched=sched)
+    fired = []
+    handles = []
+    counter = itertools.count()
+
+    def fire(tag):
+        fired.append((sim.now, tag))
+        k = next(counter)
+        if k < len(spawn):
+            n_children, base, do_cancel = spawn[k]
+            for j in range(n_children):
+                delay = (base * (j + 1)) % (60 * scale)
+                mode = (k + j) % 3
+                if mode == 0:
+                    handles.append(sim.schedule(delay, fire, f"{tag}.{j}"))
+                elif mode == 1:
+                    sim.schedule_unref(delay, fire, f"{tag}.u{j}")
+                else:
+                    handles.append(
+                        sim.schedule_at(sim.now + delay, fire, f"{tag}.a{j}"))
+            if do_cancel and handles:
+                handles.pop(0).cancel()
+
+    for i, d in enumerate(init):
+        handles.append(sim.schedule(d * scale, fire, f"i{i}"))
+    sim.run(max_events=max_events)
+    return fired
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None, database=None)
+def test_dynamic_programs_fire_identically(program):
+    assert _run_program("heap", program) == _run_program("calendar", program)
+
+
+@given(programs())
+@settings(max_examples=25, deadline=None, database=None)
+def test_dynamic_programs_fire_identically_under_compaction(program):
+    """Same oracle with compaction forced aggressively on both backends."""
+    old = perf.COMPACT_MIN
+    perf.COMPACT_MIN = 2
+    try:
+        assert _run_program("heap", program) == \
+            _run_program("calendar", program)
+    finally:
+        perf.COMPACT_MIN = old
+
+
+# -- FIFO tie-break across compaction (pinned regression) --------------------
+
+@pytest.mark.parametrize("sched", ["heap", "calendar"])
+def test_same_timestamp_fifo_survives_compaction(sched):
+    """Events tied on the timestamp fire in schedule order even when a
+    compaction rebuilds the queue while they are pending."""
+    old = perf.COMPACT_MIN
+    perf.COMPACT_MIN = 2
+    try:
+        sim = Simulator(seed=0, sched=sched)
+        fired = []
+        tied_at = 5_000_000
+        for i in range(8):
+            sim.schedule_at(tied_at, fired.append, i)
+        # Cancelling more entries than remain live trips the compaction
+        # threshold while the tied batch is still pending.
+        decoys = [sim.schedule_at(tied_at + 1, fired.append, 100 + i)
+                  for i in range(10)]
+        for h in decoys:
+            h.cancel()
+        assert sim._cancelled < 10      # a compaction really reaped entries
+        sim.run()
+        assert fired == list(range(8))
+    finally:
+        perf.COMPACT_MIN = old
+
+
+@pytest.mark.parametrize("sched", ["heap", "calendar"])
+def test_engine_env_selection(sched, monkeypatch):
+    monkeypatch.setenv("REPRO_SCHED", sched)
+    sim = Simulator(seed=0)
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(5, fired.append, "b")
+    sim.run()
+    assert fired == ["b", "a"]
+    assert (sim._cal is not None) == (sched == "calendar")
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError):
+        Simulator(seed=0, sched="fibheap")
+
+
+# -- golden traces, calendar backend -----------------------------------------
+
+import importlib.util  # noqa: E402
+import pathlib  # noqa: E402
+
+# Sibling test modules are not importable as packages here; load the golden
+# suite's scenario definitions straight from its file.
+_golden_path = pathlib.Path(__file__).with_name("test_golden_traces.py")
+_spec = importlib.util.spec_from_file_location("_golden_scenarios",
+                                               _golden_path)
+golden = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(golden)
+
+
+@pytest.mark.parametrize("name", sorted(golden.SCENARIOS))
+def test_golden_trace_bit_identical_under_calendar(name, monkeypatch):
+    """The stored packet digests are reproduced exactly on the calendar
+    backend — the end-to-end form of the equivalence argument."""
+    from repro.audit.golden import diff_golden, load_golden
+
+    path = golden.GOLDEN_DIR / f"{name}.json"
+    if not path.exists():
+        pytest.skip(f"golden fixture {path.name} not generated yet")
+    monkeypatch.setenv("REPRO_SCHED", "calendar")
+    payload = golden.build_payload(name)
+    diffs = diff_golden(load_golden(path), payload)
+    assert not diffs, \
+        "calendar backend drifted from golden traces:\n" + "\n".join(diffs)

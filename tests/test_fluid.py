@@ -1,0 +1,150 @@
+"""Fluid-vs-packet agreement: the fast backend is pinned to the slow one.
+
+The fluid backend (:mod:`repro.sim.fluid`) trades per-packet fidelity for
+speed; its license to exist is staying inside *declared* tolerances of the
+packet engine on the steady-state metrics the scenario matrix reports.
+This suite runs both backends on the same (protocol, topology) cells over
+identical measurement windows and asserts agreement on utilization, Jain
+fairness, peak queue, and convergence time.
+
+Tolerance notes (all measured against the packet engine at seed 1):
+
+- ``UTIL_TOL``: aggregate utilization is the fluid model's calibrated
+  quantity and agrees to < 0.01 everywhere; 0.05 leaves seed headroom.
+- ``FAIRNESS_TOL``: per-flow splits depend on packet-level event ordering
+  the fluid model deliberately averages away.  The dumbbell band covers
+  credit-race jitter; fat-tree is loosest because the packet fabric's
+  per-flow ECMP hash outcomes vary where the fluid fabric models the
+  *average* collision group (see ``_fluid_fabric``).
+- ``QUEUE_TOL_KB``: the fluid standing queue is a per-protocol constant
+  (ExpressPass bounded at a few MTU, DCTCP at its marking threshold), so
+  the band is absolute, per protocol.
+- ``CONV_TOL_MS``: both backends report first-sustained-throughput over
+  500 us bins, so agreement is only meaningful to a bin or three.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.cells import run_persistent
+from repro.sim.fluid import (
+    PROTOCOL_DYNAMICS,
+    fluid_fct_point,
+    fluid_join_convergence,
+    run_fluid,
+)
+from repro.sim.units import GBPS, MS
+
+# -- declared agreement tolerances -------------------------------------------
+
+UTIL_TOL = 0.05
+FAIRNESS_TOL = {"dumbbell": 0.15, "parking_lot": 0.10, "fat_tree": 0.30}
+QUEUE_TOL_KB = {"expresspass": 12.0, "dctcp": 25.0}
+CONV_TOL_MS = 1.5
+
+#: Short but post-convergence windows: every protocol under test reaches
+#: steady state well inside 5 ms at 10 G.
+WARMUP_PS = 5 * MS
+MEASURE_PS = 5 * MS
+
+AGREEMENT_CASES = [
+    ("expresspass", "dumbbell", None),
+    ("expresspass", "parking_lot", None),
+    ("expresspass", "fat_tree", {"k": 4}),
+    ("dctcp", "dumbbell", None),
+]
+
+
+@pytest.mark.parametrize(
+    "protocol,topology,topo_params", AGREEMENT_CASES,
+    ids=[f"{p}-{t}" for p, t, _ in AGREEMENT_CASES])
+def test_fluid_agrees_with_packet(protocol, topology, topo_params):
+    common = dict(protocol=protocol, n_flows=4, topology=topology,
+                  topo_params=topo_params, warmup_ps=WARMUP_PS,
+                  measure_ps=MEASURE_PS, seed=1)
+    packet = run_persistent(**common)
+    fluid = run_fluid(**common)
+
+    assert fluid["backend"] == "fluid"
+    assert abs(fluid["utilization"] - packet["utilization"]) <= UTIL_TOL, \
+        f"utilization: fluid {fluid['utilization']:.4f} " \
+        f"vs packet {packet['utilization']:.4f}"
+    assert abs(fluid["fairness"] - packet["fairness"]) \
+        <= FAIRNESS_TOL[topology], \
+        f"fairness: fluid {fluid['fairness']:.4f} " \
+        f"vs packet {packet['fairness']:.4f}"
+    assert abs(fluid["max_queue_kb"] - packet["max_queue_kb"]) \
+        <= QUEUE_TOL_KB[protocol], \
+        f"queue: fluid {fluid['max_queue_kb']:.1f} " \
+        f"vs packet {packet['max_queue_kb']:.1f} kB"
+    assert packet["convergence_ms"] >= 0 and fluid["convergence_ms"] >= 0
+    assert abs(fluid["convergence_ms"] - packet["convergence_ms"]) \
+        <= CONV_TOL_MS
+
+
+def test_fluid_row_shape_matches_packet():
+    """Matrix plumbing reads both row kinds off one shape."""
+    common = dict(protocol="expresspass", n_flows=2,
+                  warmup_ps=WARMUP_PS, measure_ps=MEASURE_PS)
+    packet = run_persistent(**common)
+    fluid = run_fluid(**common)
+    assert set(fluid) - set(packet) == {"backend"}
+    assert fluid["data_drops"] == 0
+
+
+def test_fluid_is_deterministic():
+    kwargs = dict(protocol="expresspass", n_flows=4,
+                  topology="parking_lot", warmup_ps=WARMUP_PS,
+                  measure_ps=MEASURE_PS)
+    assert run_fluid(**kwargs) == run_fluid(**kwargs)
+
+
+def test_every_protocol_has_fluid_dynamics():
+    """Any protocol the runner can sweep must run on the fluid backend."""
+    from repro.experiments.runner import PROTOCOLS
+
+    for protocol in PROTOCOLS:
+        assert protocol in PROTOCOL_DYNAMICS
+        row = run_fluid(protocol=protocol, n_flows=2,
+                        warmup_ps=MS, measure_ps=MS)
+        assert 0.0 < row["utilization"] <= 1.001
+
+
+# -- trend modes (Figs 16 and 18) --------------------------------------------
+
+def test_join_convergence_trends():
+    """Fig 16's class structure: ExpressPass/RCP in a few RTTs, DCTCP far
+    more; halving α increases the convergence time; and the RTT count is
+    link-speed independent (the paper's headline claim)."""
+    ep = fluid_join_convergence("expresspass", 10 * GBPS)
+    ep_slow = fluid_join_convergence("expresspass", 10 * GBPS, alpha=1 / 16)
+    dctcp = fluid_join_convergence("dctcp", 10 * GBPS)
+    rcp = fluid_join_convergence("rcp", 10 * GBPS)
+    assert ep["converged"] and dctcp["converged"] and rcp["converged"]
+    assert ep["convergence_rtts"] < ep_slow["convergence_rtts"]
+    assert ep_slow["convergence_rtts"] < dctcp["convergence_rtts"]
+    assert rcp["convergence_rtts"] <= 5
+
+    ep_100g = fluid_join_convergence("expresspass", 100 * GBPS)
+    assert ep_100g["convergence_rtts"] == ep["convergence_rtts"]
+
+
+def test_fct_point_tradeoff():
+    """Fig 18's trade-off: short flows pay for small w_init (slower ramp),
+    large flows gain from small α (less credit waste)."""
+    aggressive = fluid_fct_point(1 / 2, 1 / 2, "cache_follower", 0.6, 300)
+    sweet = fluid_fct_point(1 / 16, 1 / 16, "cache_follower", 0.6, 300)
+    assert aggressive["p99_fct_S_ms"] < sweet["p99_fct_S_ms"]
+    assert sweet["p99_fct_L_ms"] < aggressive["p99_fct_L_ms"]
+    assert sweet["credit_waste"] < aggressive["credit_waste"]
+
+    # S-flow FCT tracks w_init only: α shapes post-congestion waste.
+    same_w = fluid_fct_point(1 / 16, 1 / 2, "cache_follower", 0.6, 300)
+    assert same_w["p99_fct_S_ms"] == pytest.approx(
+        aggressive["p99_fct_S_ms"], rel=1e-9)
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError, match="no fluid dynamics"):
+        run_fluid(protocol="carrier-pigeon", n_flows=2)

@@ -44,6 +44,27 @@ def test_spec_compiles_with_stable_fingerprints(spec_path, spec_compile):
     assert [c.fingerprint for c in again.cells] == fingerprints
 
 
+def test_spec_compiles_under_both_backends(spec_path, spec_compile):
+    """Every bundled spec compiles on the packet backend; specs whose
+    workload/chaos the fluid model can express compile there too, with
+    distinct cell fingerprints (the cache must never conflate backends)."""
+    scenario = scenarios.load(spec_path)
+    packet = spec_compile(spec_path, backend="packet")
+    assert len(packet) == scenario.cell_count
+
+    blockers = scenarios.fluid_blockers(scenario.workload, scenario.chaos)
+    if blockers:
+        with pytest.raises(scenarios.SpecError):
+            spec_compile(spec_path, backend="fluid")
+        pytest.skip("fluid backend unavailable: " + "; ".join(blockers))
+
+    fluid = spec_compile(spec_path, backend="fluid")
+    assert len(fluid) == scenario.cell_count
+    packet_prints = {c.fingerprint for c in packet.cells}
+    fluid_prints = {c.fingerprint for c in fluid.cells}
+    assert not packet_prints & fluid_prints
+
+
 def test_spec_round_trips(spec_path):
     scenario = scenarios.load(spec_path)
     text = scenarios.dumps(scenario, fmt="json")
