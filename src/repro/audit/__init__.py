@@ -47,7 +47,8 @@ __all__ = [
     "AuditReport", "NetworkAuditor", "Violation",
     "begin_capture", "capture", "end_capture", "is_active", "maybe_attach",
     "empty_summary", "format_summary", "merge_summaries",
-    "record_task_summary", "reset_session", "session_summary",
+    "record_summary", "record_task_summary", "reset_session",
+    "session_summary",
 ]
 
 _capture_depth = 0
@@ -97,6 +98,31 @@ def end_capture(marker: int) -> dict:
     del _captured[marker:]
     _capture_depth = max(0, _capture_depth - 1)
     return merge_summaries([a.finalize().summary() for a in scoped])
+
+
+class _Precomputed:
+    """An already-merged summary posing as a capture-scoped auditor.
+
+    Sharded runs (:mod:`repro.sim.parallel`) audit inside their worker
+    processes and merge the shard summaries in the parent; this wrapper
+    lets the merged dict ride the ordinary capture machinery, so
+    :func:`end_capture` folds it in like any live auditor's report.
+    """
+
+    def __init__(self, summary: dict):
+        self._summary = dict(summary)
+
+    def finalize(self) -> "_Precomputed":
+        return self
+
+    def summary(self) -> dict:
+        return self._summary
+
+
+def record_summary(summary: dict) -> None:
+    """Park a finished summary in the open capture (no-op outside one)."""
+    if _capture_depth > 0:
+        _captured.append(_Precomputed(summary))
 
 
 class capture:

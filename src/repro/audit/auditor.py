@@ -211,6 +211,11 @@ class NetworkAuditor:
         self._flow_links: Dict[int, Tuple[Set, Set]] = {}  # fid -> (data, credit)
         self._last_event_ps: Optional[int] = None
         self._finalized = False
+        #: When True, :meth:`finalize` skips the per-flow quiescence checks.
+        #: Sharded execution sets this in each worker: a single shard sees
+        #: only its own half of a flow's counters, so the checks run once,
+        #: centrally, over merged :meth:`flow_accounts`.
+        self.defer_flow_checks = False
         sim.auditor = self
 
     # -- engine observer ----------------------------------------------------
@@ -269,68 +274,118 @@ class NetworkAuditor:
         for probe in self._ports.values():
             probe.finalize()
         drained = self.sim.pending() == 0
-        for flow in self._flows:
-            self._check_flow(flow, drained)
+        if not self.defer_flow_checks:
+            for flow in self._flows:
+                self._check_flow(flow, drained)
         return self.report
 
-    def _check_flow(self, flow, drained: bool) -> None:
-        subject = repr(flow)
-        now = self.sim.now
+    def _flow_account(self, flow) -> dict:
+        """One flow's audited counters as plain data.
+
+        The quiescence checks consume these accounts rather than live flow
+        objects, so a sharded run can ship each replica's account across
+        process boundaries, merge them counter-wise, and run the identical
+        checks (:func:`check_flow_account`) on the reconstructed totals.
+        """
         chaos = getattr(self.sim, "chaos", None)
         data_links, credit_links = self._flow_links.get(flow.fid,
                                                         (set(), set()))
-        if chaos is not None and chaos.topology_changed:
-            # A flow that lived through a routing reconvergence took one
-            # path before the change and another after it; the whole-run
-            # set comparison below cannot distinguish that from a genuine
-            # asymmetric hash, so the check is skipped (and counted) when
-            # the fault plan changed the topology.  Loss/jitter/meter-only
-            # plans keep it fully armed.
-            data_links = credit_links = set()
-            self.report.count("path_symmetry_skipped_chaos")
-        elif data_links and credit_links:
-            # Links an active fault plan touched are excused: during a
-            # blackhole window one direction can legitimately cross a link
-            # whose mirror is dead (both orientations are excused).
-            if chaos is not None and chaos.affected_links:
-                excused = chaos.affected_links
-                data_links = {l for l in data_links if l not in excused}
-                credit_links = {l for l in credit_links if l not in excused}
-        if data_links and credit_links:
-            reversed_credit = {(b, a) for (a, b) in credit_links}
-            if data_links != reversed_credit:
-                stray = sorted(reversed_credit - data_links)
-                missing = sorted(data_links - reversed_credit)
-                self.report.add(
-                    "path-symmetry", subject, now,
-                    f"credit path is not the reverse of the data path "
-                    f"(§3.1): credits crossed reversed-links {stray} not on "
-                    f"the data path; data links {missing} saw no credits")
-        # Credit conservation holds only at quiescence: a run cut mid-flight
-        # legitimately has credits on the wire.
-        if drained and hasattr(flow, "credits_sent"):
-            sent = flow.credits_sent
-            injected = (chaos.injected_credit_drops(flow.fid)
-                        if chaos is not None else 0)
-            accounted = flow.credits_received + flow.credit_drops + injected
-            if sent != accounted:
-                budget = (f" + {injected} chaos-injected" if injected else "")
-                self.report.add(
-                    "credit-conservation", subject, now,
-                    f"{sent} credits sent but only {accounted} accounted "
-                    f"({flow.credits_received} received + "
-                    f"{flow.credit_drops} dropped{budget}) — "
-                    f"{sent - accounted} lost silently")
-        if flow.size_bytes is not None:
-            if flow.completed and flow.bytes_delivered != flow.size_bytes:
-                self.report.add(
-                    "completion-exactness", subject, now,
-                    f"flow completed having delivered "
-                    f"{flow.bytes_delivered}B of {flow.size_bytes}B")
-            elif (drained and not flow.completed
-                    and getattr(flow, "_started", False)
-                    and not getattr(flow, "_stopped", False)):
-                self.report.add(
-                    "completion-exactness", subject, now,
-                    f"simulation drained but the flow delivered only "
-                    f"{flow.bytes_delivered}B of {flow.size_bytes}B")
+        return {
+            "fid": flow.fid,
+            "subject": repr(flow),
+            "data_links": sorted(data_links),
+            "credit_links": sorted(credit_links),
+            "credits_sent": getattr(flow, "credits_sent", None),
+            "credits_received": getattr(flow, "credits_received", 0),
+            "credit_drops": flow.credit_drops,
+            "injected_credit_drops": (chaos.injected_credit_drops(flow.fid)
+                                      if chaos is not None else 0),
+            "size_bytes": flow.size_bytes,
+            "bytes_delivered": flow.bytes_delivered,
+            "completed": flow.completed,
+            "started": getattr(flow, "_started", False),
+            "stopped": getattr(flow, "_stopped", False),
+        }
+
+    def flow_accounts(self) -> List[dict]:
+        """Accounts for every registered flow, in registration order."""
+        return [self._flow_account(flow) for flow in self._flows]
+
+    def _check_flow(self, flow, drained: bool) -> None:
+        chaos = getattr(self.sim, "chaos", None)
+        check_flow_account(
+            self.report, self._flow_account(flow), drained, self.sim.now,
+            topology_changed=chaos is not None and chaos.topology_changed,
+            affected_links=(chaos.affected_links if chaos is not None
+                            else frozenset()))
+
+
+def check_flow_account(report: AuditReport, account: dict, drained: bool,
+                       now: int, topology_changed: bool = False,
+                       affected_links=frozenset()) -> None:
+    """The per-flow quiescence checks, over a plain-data account.
+
+    Single source of truth for serial (:meth:`NetworkAuditor._check_flow`)
+    and sharded (merged-account) auditing — both paths produce identical
+    invariant names and messages for identical totals.
+    """
+    subject = account["subject"]
+    data_links = {tuple(link) for link in account["data_links"]}
+    credit_links = {tuple(link) for link in account["credit_links"]}
+    if topology_changed:
+        # A flow that lived through a routing reconvergence took one
+        # path before the change and another after it; the whole-run
+        # set comparison below cannot distinguish that from a genuine
+        # asymmetric hash, so the check is skipped (and counted) when
+        # the fault plan changed the topology.  Loss/jitter/meter-only
+        # plans keep it fully armed.
+        data_links = credit_links = set()
+        report.count("path_symmetry_skipped_chaos")
+    elif data_links and credit_links:
+        # Links an active fault plan touched are excused: during a
+        # blackhole window one direction can legitimately cross a link
+        # whose mirror is dead (both orientations are excused).
+        if affected_links:
+            data_links = {l for l in data_links if l not in affected_links}
+            credit_links = {l for l in credit_links
+                            if l not in affected_links}
+    if data_links and credit_links:
+        reversed_credit = {(b, a) for (a, b) in credit_links}
+        if data_links != reversed_credit:
+            stray = sorted(reversed_credit - data_links)
+            missing = sorted(data_links - reversed_credit)
+            report.add(
+                "path-symmetry", subject, now,
+                f"credit path is not the reverse of the data path "
+                f"(§3.1): credits crossed reversed-links {stray} not on "
+                f"the data path; data links {missing} saw no credits")
+    # Credit conservation holds only at quiescence: a run cut mid-flight
+    # legitimately has credits on the wire.
+    sent = account["credits_sent"]
+    if drained and sent is not None:
+        injected = account["injected_credit_drops"]
+        received = account["credits_received"]
+        drops = account["credit_drops"]
+        accounted = received + drops + injected
+        if sent != accounted:
+            budget = (f" + {injected} chaos-injected" if injected else "")
+            report.add(
+                "credit-conservation", subject, now,
+                f"{sent} credits sent but only {accounted} accounted "
+                f"({received} received + "
+                f"{drops} dropped{budget}) — "
+                f"{sent - accounted} lost silently")
+    if account["size_bytes"] is not None:
+        if (account["completed"]
+                and account["bytes_delivered"] != account["size_bytes"]):
+            report.add(
+                "completion-exactness", subject, now,
+                f"flow completed having delivered "
+                f"{account['bytes_delivered']}B of {account['size_bytes']}B")
+        elif (drained and not account["completed"]
+                and account["started"]
+                and not account["stopped"]):
+            report.add(
+                "completion-exactness", subject, now,
+                f"simulation drained but the flow delivered only "
+                f"{account['bytes_delivered']}B of {account['size_bytes']}B")

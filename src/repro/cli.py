@@ -131,6 +131,11 @@ def main(argv=None) -> int:
         p.add_argument("--parallel", type=int, default=None, metavar="N",
                        help="run sweep tasks on N worker processes "
                             "(0/1 = serial; default REPRO_PARALLEL or 0)")
+        p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="shard each single simulation across N worker "
+                            "processes (repro.sim.parallel; bit-identical "
+                            "to serial; 0/1 = serial; default REPRO_SHARDS "
+                            "or 0)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk result cache for this run")
         p.add_argument("--retries", type=int, default=None, metavar="K",
@@ -220,6 +225,10 @@ def main(argv=None) -> int:
                          help="write the per-cell rows as wide CSV to FILE")
     matrixp.add_argument("--parallel", type=int, default=None, metavar="N",
                          help="run cells on N worker processes")
+    matrixp.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="shard each single simulation across N worker "
+                              "processes (overrides the spec's "
+                              "timing.shards; bit-identical to serial)")
     matrixp.add_argument("--no-cache", action="store_true",
                          help="disable the on-disk result cache for this run")
     matrixp.add_argument("--retries", type=int, default=None, metavar="K",
@@ -360,6 +369,8 @@ def main(argv=None) -> int:
         config_overrides = {}
         if args.parallel is not None:
             config_overrides["parallel"] = args.parallel
+        if args.shards is not None:
+            config_overrides["shards"] = args.shards
         if args.no_cache:
             config_overrides["cache_enabled"] = False
         if args.retries is not None:
@@ -531,6 +542,8 @@ def main(argv=None) -> int:
     config_overrides = {}
     if args.parallel is not None:
         config_overrides["parallel"] = args.parallel
+    if getattr(args, "shards", None) is not None:
+        config_overrides["shards"] = args.shards
     if args.no_cache:
         config_overrides["cache_enabled"] = False
     if args.retries is not None:

@@ -118,7 +118,10 @@ class ExpressPassFlow(Flow):
         # reconvergence, misrouted ECMP bucket) sustains 100 % loss.
         self._dead_updates = 0
         self.path_recoveries = 0
-        self._rng = self.sim.rng("expresspass")
+        # Per-flow stream (credit-size and pacing jitter): keyed by flow id
+        # so a flow's draws are independent of every other flow's activity —
+        # required for serial == sharded bit-identity.
+        self._rng = self.sim.rng_for("expresspass", self.fid)
 
     # ------------------------------------------------------------------ sender
     def begin(self) -> None:
@@ -176,7 +179,7 @@ class ExpressPassFlow(Flow):
                     self._request_timer.cancel()
                     self._request_timer = None
             # Host credit-processing delay (∆d_host) before data goes out.
-            delay = self.src.delay_model.sample()
+            delay = self.src.sample_delay()
             self.sim.schedule(delay, self._handle_credit, pkt.credit_seq)
         elif pkt.kind == PacketKind.CONTROL:
             # Receiver-driven resynchronization after (rare) data loss.

@@ -57,11 +57,18 @@ class HostDelayModel:
             raise ValueError("delay scale must be positive")
         self._scale = factor
 
-    def sample(self) -> int:
-        """Draw one processing delay in picoseconds."""
-        if self._rng is None:
+    def sample(self, rng=None) -> int:
+        """Draw one processing delay in picoseconds.
+
+        ``rng`` overrides the bound stream for this draw — hosts pass their
+        own per-host stream so one model instance can be shared across a
+        whole network without coupling the hosts' randomness.  With neither
+        a bound nor a passed stream the model is deterministic.
+        """
+        r = rng if rng is not None else self._rng
+        if r is None:
             return int(self.median_ps * self._scale)
-        value = int(self._rng.lognormvariate(self._mu, self._sigma))
+        value = int(r.lognormvariate(self._mu, self._sigma))
         value = min(max(value, 0), self.max_delay_ps)
         return int(value * self._scale)
 
@@ -95,7 +102,14 @@ class Host(Node):
                  delay_model: Optional[HostDelayModel] = None):
         super().__init__(sim, node_id, name or f"h{node_id}")
         self.delay_model = delay_model or HostDelayModel.constant(0)
-        self.delay_model.bind(sim.rng("host-delay"))
+        # Per-host delay stream: draws here depend only on (seed, node id),
+        # never on how many *other* hosts sampled before us — the property
+        # sharded execution needs for replica-identical trajectories.
+        self._delay_rng = sim.rng_for("host-delay", node_id)
+
+    def sample_delay(self) -> int:
+        """One credit-processing delay from this host's own stream."""
+        return self.delay_model.sample(self._delay_rng)
 
     @property
     def nic(self):

@@ -51,7 +51,8 @@ __all__ = [
     "begin_capture", "capture", "default_interval_ps", "end_capture",
     "is_active", "maybe_attach",
     "empty_summary", "format_summary", "merge_summaries",
-    "record_task_summary", "reset_session", "session_summary",
+    "record_summary", "record_task_summary", "reset_session",
+    "session_summary",
 ]
 
 _capture_depth = 0
@@ -134,6 +135,30 @@ def end_capture(marker: int) -> Tuple[dict, List[MetricsRegistry]]:
     if _opts:
         _opts.pop()
     return merge_summaries([r.summary() for r in scoped]), scoped
+
+
+class _Precomputed:
+    """An already-merged summary posing as a capture-scoped registry.
+
+    Sharded runs (:mod:`repro.sim.parallel`) collect metrics inside their
+    worker processes and merge the shard summaries in the parent; this
+    wrapper lets the merged dict ride the capture machinery.  ``tracers``
+    is empty: per-packet traces stay in the workers.
+    """
+
+    tracers: tuple = ()
+
+    def __init__(self, summary: dict):
+        self._summary = dict(summary)
+
+    def summary(self) -> dict:
+        return self._summary
+
+
+def record_summary(summary: dict) -> None:
+    """Park a finished summary in the open capture (no-op outside one)."""
+    if _capture_depth > 0:
+        _captured.append(_Precomputed(summary))
 
 
 class capture:

@@ -73,6 +73,14 @@ def code_fingerprint(fn: Optional[Callable] = None) -> str:
 class ResultCache:
     """Directory of pickled task results with LRU-capped size."""
 
+    #: :meth:`put` runs :meth:`evict` — an O(entries) directory stat scan —
+    #: on the first put of the instance's lifetime (bounding growth left
+    #: behind by earlier processes) and then once every this-many puts, so
+    #: eviction amortizes to O(1) per put instead of going quadratic over a
+    #: matrix sweep.  The caps can be overshot by at most ``_EVICT_EVERY - 1``
+    #: entries between scans; an explicit :meth:`evict` is always exact.
+    _EVICT_EVERY = 32
+
     def __init__(
         self,
         directory: pathlib.Path,
@@ -82,6 +90,7 @@ class ResultCache:
         self.directory = pathlib.Path(directory)
         self.max_bytes = max_bytes
         self.max_entries = max_entries
+        self._puts_until_evict = 0
 
     # -- keys ---------------------------------------------------------------
 
@@ -102,7 +111,12 @@ class ResultCache:
                 entry = pickle.load(fh)
             value = entry["value"]
         except (OSError, pickle.UnpicklingError, EOFError, KeyError,
-                AttributeError, ImportError, IndexError):
+                AttributeError, ImportError, IndexError, ValueError,
+                TypeError, UnicodeDecodeError):
+            # Truncated or garbage bytes surface as almost any of the above
+            # (ValueError/TypeError/UnicodeDecodeError come from torn opcode
+            # arguments, not just UnpicklingError) — all of them mean the
+            # entry is unusable, so prune it and report a miss.
             if path.exists():
                 try:
                     path.unlink()
@@ -135,7 +149,10 @@ class ResultCache:
             except OSError:
                 pass
             return False
-        self.evict()
+        self._puts_until_evict -= 1
+        if self._puts_until_evict < 0:
+            self.evict()
+            self._puts_until_evict = self._EVICT_EVERY - 1
         return True
 
     # -- hygiene ------------------------------------------------------------

@@ -28,6 +28,10 @@ Environment variables (all optional) seed the defaults:
                             carry per-run profile summaries
 ``REPRO_METRICS``           "1" meters every sweep task (:mod:`repro.obs`);
                             task results then carry per-run metrics summaries
+``REPRO_SHARDS``            worker processes *within one simulation*
+                            (:mod:`repro.sim.parallel`); 0/1 = serial
+                            (default 0).  Execution policy, not science:
+                            never part of task fingerprints or cache keys
 ==========================  =====================================================
 """
 
@@ -81,6 +85,11 @@ class RuntimeConfig:
     #: Meter every task's simulations (:mod:`repro.obs` counters, series,
     #: flow spans); metrics summaries ride on the TaskResults.
     metrics: bool = False
+    #: Shard each single simulation across this many worker processes
+    #: (:mod:`repro.sim.parallel`); 0 or 1 runs serially.  Like ``parallel``
+    #: this is execution policy — sharded runs are bit-identical to serial,
+    #: so it never enters task fingerprints or cache keys.
+    shards: int = 0
 
     @classmethod
     def from_env(cls, environ=None) -> "RuntimeConfig":
@@ -110,6 +119,7 @@ class RuntimeConfig:
             audit=env.get("REPRO_AUDIT", "") in ("1", "true"),
             profile=env.get("REPRO_PROFILE", "") in ("1", "true"),
             metrics=env.get("REPRO_METRICS", "") in ("1", "true"),
+            shards=_int("REPRO_SHARDS", 0),
         )
 
     def resolved_cache_dir(self) -> pathlib.Path:

@@ -238,6 +238,12 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
 
     attempts = {i: 0 for i in indices}
     inflight: Dict[futures.Future, tuple] = {}  # future -> (index, t_submit)
+    #: index -> monotonic deadline for a backoff-deferred resubmission.
+    #: Retries never sleep on the dispatcher thread — an inline sleep would
+    #: stall collection of completed futures and inflate every other
+    #: inflight task's submission-measured timeout — they park here and the
+    #: wait loop resubmits them when their deadline passes.
+    deferred: Dict[int, float] = {}
     leftovers: List[int] = []
 
     def submit(i: int) -> None:
@@ -247,23 +253,35 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                           config.metrics)
         inflight[fut] = (i, time.monotonic())
 
-    def record_failure(i: int, error: str, retryable: bool = True) -> None:
+    def record_failure(i: int, error: str, wall_s: float = 0.0,
+                       retryable: bool = True) -> None:
         if retryable and attempts[i] <= config.retries:
             tel.task_retry(i, specs[i].label, attempts[i], error)
-            time.sleep(config.backoff_s * (2 ** (attempts[i] - 1)))
-            submit(i)
+            backoff = config.backoff_s * (2 ** (attempts[i] - 1))
+            deferred[i] = time.monotonic() + backoff
         else:
             results[i] = TaskResult(i, specs[i].label, error=error,
-                                    attempts=attempts[i])
+                                    attempts=attempts[i], wall_s=wall_s)
             tel.task_failed(i, specs[i].label, error, attempts[i])
 
     try:
         for i in indices:
             submit(i)
-        while inflight:
-            done, _ = futures.wait(set(inflight), timeout=0.1,
-                                   return_when=futures.FIRST_COMPLETED)
+        while inflight or deferred:
+            wait_s = 0.1
+            if deferred:
+                next_due = min(deferred.values()) - time.monotonic()
+                wait_s = min(wait_s, max(0.0, next_due))
+            if inflight:
+                done, _ = futures.wait(set(inflight), timeout=wait_s,
+                                       return_when=futures.FIRST_COMPLETED)
+            else:
+                done = set()
+                time.sleep(wait_s)
             now = time.monotonic()
+            for i in [j for j, due in deferred.items() if due <= now]:
+                del deferred[i]
+                submit(i)
             if config.task_timeout_s is not None:
                 for fut, (i, t_submit) in list(inflight.items()):
                     if fut in done or now - t_submit <= config.task_timeout_s:
@@ -271,7 +289,8 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                     fut.cancel()  # abandon result even if already running
                     inflight.pop(fut)
                     record_failure(
-                        i, f"timeout after {config.task_timeout_s:g}s")
+                        i, f"timeout after {config.task_timeout_s:g}s",
+                        wall_s=now - t_submit)
             for fut in done:
                 if fut not in inflight:
                     continue
@@ -283,6 +302,7 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                     tel.degraded(f"worker pool broke: {exc}")
                     leftovers = [j for j in attempts if results[j] is None]
                     inflight.clear()
+                    deferred.clear()
                     break
                 except futures.CancelledError:
                     continue  # handled by the timeout branch above
@@ -295,7 +315,7 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                             f"task#{i} {specs[i].label} not picklable")
                         leftovers.append(i)
                     else:
-                        record_failure(i, error)
+                        record_failure(i, error, wall_s=now - t_submit)
                     continue
                 wall = now - t_submit
                 results[i] = TaskResult(i, specs[i].label, value=value,

@@ -10,10 +10,12 @@ behaves exactly like ``repro run`` because both funnel through
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.runtime import run_tasks
+from repro.runtime.config import get_config, using
 from repro.scenarios.compiler import (
     CompiledMatrix,
     cell_rows,
@@ -59,7 +61,15 @@ def run_matrix(scenario: Scenario,
                 ("<filter>", f"filter {cell_filter!r} matches none of the "
                              f"{scenario.cell_count} cell(s)"),
                 source=scenario.name)
-    results = run_tasks(matrix.plan())
+    # ``timing.shards`` is execution policy the spec may request: it raises
+    # the runtime shard count only when nothing set one (config 0 = unset;
+    # an explicit ``--shards``/``REPRO_SHARDS`` — even 1, serial — wins).
+    # It never reaches cell kwargs, so cache keys are unaffected.
+    spec_shards = int(scenario.timing.get("shards", 1))
+    with contextlib.ExitStack() as stack:
+        if spec_shards > 1 and get_config().shards == 0:
+            stack.enter_context(using(shards=spec_shards))
+        results = run_tasks(matrix.plan())
     rows = cell_rows(matrix, results)
     meta = {
         "cells": len(results),

@@ -83,8 +83,12 @@ _TOP_KEYS = ("schema", "name", "description", "tags", "backend", "topology",
              "workload", "transport", "timing", "chaos", "seeds", "sweep",
              "report")
 
+#: ``shards`` is execution policy, not science: the compiler never lowers
+#: it into cell kwargs (sharded runs are bit-identical to serial, so it
+#: must not perturb task fingerprints or cache keys) and it is not a sweep
+#: axis; the matrix runner reads it into the runtime config instead.
 _TIMING_KEYS = {
-    "persistent": ("warmup_ps", "measure_ps", "bin_ps"),
+    "persistent": ("warmup_ps", "measure_ps", "bin_ps", "shards"),
     "poisson": ("drain_ps",),
 }
 
@@ -93,6 +97,7 @@ _TIMING_DEFAULTS = {
     "measure_ps": 50 * MS,
     "bin_ps": 500 * US,
     "drain_ps": 1 * SEC,
+    "shards": 1,
 }
 
 

@@ -143,6 +143,13 @@ class CalendarQueue:
                 entry = bucket.pop(0)
                 if self._size < self._shrink_at:
                     self._rebuild(self._n // 2)
+                elif (len(bucket) >= _RETUNE_LEN
+                        and self._pops_since_rebuild >= self._size):
+                    # Same stale-width retune as the fast path: a workload
+                    # whose head keeps landing outside the cursor window
+                    # (every pop a year scan) would otherwise never trigger
+                    # it and drag the scan cost forever.
+                    self._rebuild(self._n)
                 return entry
             i += 1
             if i == n:

@@ -1,0 +1,868 @@
+"""repro.sim.parallel — one simulation sharded across worker processes.
+
+Conservative parallel discrete-event simulation (null-message / LBTS
+style) for the packet engine: the topology is partitioned into *shards*,
+each worker process executes only the nodes its shard owns, and the
+parent coordinates barrier-synchronized *windows* of simulated time whose
+length is the static **lookahead** — the minimum latency any packet needs
+to cross a cut link.  Within a window no shard can affect another, so all
+shards run concurrently; at the barrier, packets that crossed the cut are
+exchanged and the next window begins.
+
+The headline property is **bit-identity with serial execution**: a
+sharded run pops the same events in the same order and produces the same
+golden-trace digests, audit verdicts, and metric rows as
+``Simulator.run`` in one process.  Three mechanisms carry that:
+
+*Replicated construction.*  Every worker builds the *full* topology and
+all flows with the same seed, so node ids, flow ids, port numbers, and
+ECMP tables are identical replicas.  Ownership is then subtractive: a
+non-owned node's ``receive`` is stubbed out and a non-owned flow's start
+event is cancelled, which silences exactly the event chains the owning
+shard runs for real.  (Event chains in this engine are rooted either in a
+flow's start event — executed by the shard owning ``flow.src`` — or in a
+packet reception at a node, so node ownership covers everything else.)
+
+*Order-preserving keys.*  The serial engine breaks same-picosecond ties
+with one global sequence counter, which two processes cannot share.
+:class:`ShardSimulator` instead keys entries by
+``(time, (sched_time, tier, ...))`` where ``sched_time`` is the clock
+value at the instant the event was scheduled: for local events that order
+is provably identical to the serial sequence order (the clock is
+non-decreasing across schedule calls), and a cross-shard arrival carries
+its sender-side ``sched_time`` so it sorts against local events exactly
+where the serial wire-delivery event — scheduled at that same instant —
+would have sorted.  Remaining exact ties (same arrival time *and* same
+scheduling picosecond) are resolved by a fixed tier convention, validated
+empirically by the golden bit-identity tests.
+
+*Lookahead from the wire.*  A packet transmitted at ``T`` over a cut link
+arrives at ``T + tx_time + prop_delay > T + prop_delay``, so the minimum
+cut-link propagation delay is a sound window length that survives chaos
+plans retuning rates mid-run.  Messages generated inside a window always
+arrive strictly after it, hence injecting them at the barrier is never
+late.
+
+Known v1 limitations (checked or warned, never silent):
+
+* PFC pause signalling schedules directly onto a *neighbor's* port with
+  no interposable wire crossing; sharding refuses topologies where a PFC
+  node sits on a cut.
+* ``Flow.rehash_path`` mutates the replica hash only in the shard that
+  runs it, so transit shards keep routing by the stale hash.  Runs where
+  any rehash fired are flagged in :attr:`ShardedRun.warnings`.
+* Named ``sim.rng`` streams are per-replica; a stream consumed in two or
+  more shards draws in a different order than serial and is flagged in
+  :attr:`ShardedRun.warnings`.  Per-entity streams (``rng_for``) and the
+  per-burst chaos streams are immune by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+import random
+import traceback
+import zlib
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import _RECYCLE, Event, Simulator, _heappush, _new_raw
+from repro.sim.units import tx_time_ps
+
+__all__ = [
+    "ShardContext",
+    "ShardSimulator",
+    "ShardedRun",
+    "cut_lookahead_ps",
+    "partition_nodes",
+    "run_sharded",
+]
+
+
+class ShardSimulator(Simulator):
+    """A :class:`Simulator` whose tie-break keys survive sharding.
+
+    Heap entries become ``(time, (sched_now, 0, seq), event)`` — the extra
+    ``sched_now`` (the clock when the event was scheduled) is what lets a
+    cross-shard arrival, keyed ``(time, (sender_sched_now, 1, shard,
+    seq))`` via :meth:`inject`, take the exact queue position the serial
+    run's locally-scheduled delivery would have had.  For purely local
+    events the order is unchanged from serial: the clock is non-decreasing
+    over schedule calls, so ``(sched_now, 0, seq)`` sorts identically to
+    ``seq`` alone.  The run loops, compaction, and ``peek_time`` only read
+    ``entry[0]`` and ``entry[2]``, so the widened middle element is
+    invisible to them; key tuples are always unique, so entry comparisons
+    never fall through to the (incomparable) events.
+    """
+
+    def __init__(self, seed: int = 0, sched: Optional[str] = None):
+        #: The worker's :class:`ShardContext`; set before the builder runs
+        #: so ``Flow.__init__`` can self-register replicas.
+        self.shard: Optional["ShardContext"] = None
+        super().__init__(seed=seed, sched=sched)
+
+    # Each override mirrors its base verbatim except for the pushed key —
+    # the engine inlines Event construction for speed, and so do we.
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
+        free = self._freelist
+        event = free.pop() if free else _new_raw(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.state = 0
+        event.sim = self
+        _heappush(self._heap, (time, (self.now, 0, next(self._seq)), event))
+        return event
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (t={time} < now={self.now})")
+        free = self._freelist
+        event = free.pop() if free else _new_raw(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.state = 0
+        event.sim = self
+        _heappush(self._heap, (time, (self.now, 0, next(self._seq)), event))
+        return event
+
+    def schedule_unref(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
+        free = self._freelist
+        event = free.pop() if free else _new_raw(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.state = _RECYCLE
+        event.sim = self
+        _heappush(self._heap, (time, (self.now, 0, next(self._seq)), event))
+
+    def _schedule_cal(self, delay: int, fn: Callable[..., Any],
+                      *args: Any) -> Event:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
+        free = self._freelist
+        event = free.pop() if free else _new_raw(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.state = 0
+        event.sim = self
+        self._cal.push((time, (self.now, 0, next(self._seq)), event))
+        return event
+
+    def _schedule_at_cal(self, time: int, fn: Callable[..., Any],
+                         *args: Any) -> Event:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (t={time} < now={self.now})")
+        free = self._freelist
+        event = free.pop() if free else _new_raw(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.state = 0
+        event.sim = self
+        self._cal.push((time, (self.now, 0, next(self._seq)), event))
+        return event
+
+    def _schedule_unref_cal(self, delay: int, fn: Callable[..., Any],
+                            *args: Any) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
+        free = self._freelist
+        event = free.pop() if free else _new_raw(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.state = _RECYCLE
+        event.sim = self
+        self._cal.push((time, (self.now, 0, next(self._seq)), event))
+
+    def inject(self, time: int, subkey: tuple, fn: Callable[..., Any],
+               *args: Any) -> None:
+        """Enqueue a cross-shard arrival under an externally supplied key.
+
+        ``subkey`` is ``(sender_sched_time, 1, src_shard, src_seq)``: the
+        tier ``1`` ranks it after local events scheduled at the same
+        picosecond (serial would have interleaved by a shared counter; the
+        convention must merely be *fixed*), and ``(src_shard, src_seq)``
+        makes same-instant arrivals from different senders deterministic.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot inject into the past (t={time} < now={self.now})")
+        event = _new_raw(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.state = 0
+        event.sim = self
+        entry = (time, subkey, event)
+        if self._cal is None:
+            _heappush(self._heap, entry)
+        else:
+            self._cal.push(entry)
+
+
+# ---------------------------------------------------------------------------
+# Topology partitioning
+# ---------------------------------------------------------------------------
+
+def partition_nodes(net, n_shards: int, topo=None) -> Dict[int, int]:
+    """Deterministically map every node id to a shard in ``[0, n_shards)``.
+
+    Fat-tree / Clos topologies (anything exposing ``cores`` and ``tors``)
+    get the structural split: each pod (a connected component of the
+    non-core subgraph) is a unit, pods are dealt round-robin over shards
+    ``0..n_shards-2``, and the core layer forms the last shard — with
+    ``n_shards == k + 1`` that is one shard per pod plus a core shard.
+    Everything else falls back to recursive min-cut bisection (BFS seed
+    split plus Kernighan–Lin-style greedy refinement), which finds e.g.
+    the dumbbell's single-link cut.
+
+    Pure function of the (replicated) topology, so every worker computes
+    the identical map; the effective shard count may come out lower than
+    requested on unsplittable graphs.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    n_shards = min(n_shards, len(net.nodes))
+    if n_shards <= 1:
+        return {nid: 0 for nid in net.nodes}
+    cores = getattr(topo, "cores", None)
+    if cores and getattr(topo, "tors", None):
+        return _pod_partition(net, cores, n_shards)
+    return _mincut_partition(net, n_shards)
+
+
+def _pod_partition(net, cores, n_shards: int) -> Dict[int, int]:
+    core_ids = {c.id for c in cores}
+    owner = {cid: n_shards - 1 for cid in core_ids}
+    seen = set(core_ids)
+    pods: List[List[int]] = []
+    for root in sorted(net.nodes):
+        if root in seen:
+            continue
+        pod = [root]
+        seen.add(root)
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v in net.nodes[u].ports:
+                if v not in seen and v not in core_ids:
+                    seen.add(v)
+                    pod.append(v)
+                    stack.append(v)
+        pods.append(pod)
+    groups = max(1, n_shards - 1)
+    for i, pod in enumerate(pods):
+        for nid in pod:
+            owner[nid] = i % groups
+    return owner
+
+
+def _mincut_partition(net, n_shards: int) -> Dict[int, int]:
+    adj = {nid: set(net.nodes[nid].ports) for nid in net.nodes}
+    parts: List[List[int]] = [sorted(adj)]
+    while len(parts) < n_shards:
+        parts.sort(key=lambda p: (-len(p), p[0]))
+        big = parts[0]
+        if len(big) < 2:
+            break
+        parts.pop(0)
+        a, b = _bisect(adj, big)
+        parts.append(a)
+        parts.append(b)
+    parts.sort(key=lambda p: p[0])
+    return {nid: s for s, part in enumerate(parts) for nid in part}
+
+
+def _bisect(adj, nodes: List[int]) -> Tuple[List[int], List[int]]:
+    """Split ``nodes`` into two balanced halves, greedily minimizing cut."""
+    present = set(nodes)
+    order: List[int] = []
+    seen = set()
+    for root in sorted(nodes):
+        if root in seen:
+            continue
+        seen.add(root)
+        queue = [root]
+        qi = 0
+        while qi < len(queue):
+            u = queue[qi]
+            qi += 1
+            order.append(u)
+            for v in sorted(adj[u]):
+                if v in present and v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+    half = len(order) // 2
+    side = {nid: (0 if i < half else 1) for i, nid in enumerate(order)}
+    sizes = [half, len(order) - half]
+    min_side = max(1, half - max(1, len(order) // 4))
+
+    def gain(nid: int) -> int:
+        s = side[nid]
+        g = 0
+        for v in adj[nid]:
+            if v in present:
+                g += 1 if side[v] != s else -1
+        return g
+
+    # Greedy single-move refinement: every accepted move strictly drops
+    # the cut size, so termination is immediate; the bound is a backstop.
+    for _ in range(2 * len(order)):
+        best = None
+        for nid in order:
+            if sizes[side[nid]] - 1 < min_side:
+                continue
+            g = gain(nid)
+            if g > 0 and (best is None or g > best[0]):
+                best = (g, nid)
+        if best is None:
+            break
+        nid = best[1]
+        s = side[nid]
+        side[nid] = 1 - s
+        sizes[s] -= 1
+        sizes[1 - s] += 1
+    return ([n for n in sorted(order) if side[n] == 0],
+            [n for n in sorted(order) if side[n] == 1])
+
+
+def cut_lookahead_ps(net, owner: Dict[int, int]) -> Optional[int]:
+    """Minimum propagation delay over cut links; ``None`` if nothing cut.
+
+    Deliberately excludes serialization time: chaos plans may retune
+    rates mid-run, but nothing in the fault plane shortens a wire.
+    """
+    lookahead = None
+    for port in net.ports:
+        if owner[port.node.id] != owner[port.peer.id]:
+            if lookahead is None or port.prop_delay_ps < lookahead:
+                lookahead = port.prop_delay_ps
+    if lookahead is not None:
+        lookahead = max(1, lookahead)
+    return lookahead
+
+
+# ---------------------------------------------------------------------------
+# Per-worker shard context
+# ---------------------------------------------------------------------------
+
+class ShardContext:
+    """One worker's view: ownership map, flow replicas, outgoing messages."""
+
+    def __init__(self, sim: ShardSimulator, shard_id: int):
+        self.sim = sim
+        self.id = shard_id
+        self.owner: Dict[int, int] = {}
+        #: fid -> local flow replica, filled by ``Flow.__init__``'s hook.
+        self.flows: Dict[int, object] = {}
+        self.net = None
+        self.built = None
+        #: Ingress cut ports by (src_node_id, dst_node_id) link key.
+        self.cut_in: Dict[Tuple[int, int], object] = {}
+        self.outbox: List[tuple] = []
+        self._export_seq = count(1)
+        sim.shard = self
+
+    def register_flow(self, flow) -> None:
+        self.flows[flow.fid] = flow
+
+    def owns(self, node_id: int) -> bool:
+        return self.owner.get(node_id) == self.id
+
+
+def _noop_receive(pkt, from_port) -> None:
+    """Instance-attribute stub for non-owned nodes: the real reception
+    happens in the owning shard; the locally scheduled copy lands here."""
+    return None
+
+
+def _apply_ownership(ctx: ShardContext) -> None:
+    me = ctx.id
+    owner = ctx.owner
+    for nid, node in ctx.net.nodes.items():
+        if owner[nid] != me:
+            node.receive = _noop_receive
+    for flow in ctx.flows.values():
+        if owner[flow.src.id] != me:
+            flow._start_evt.cancel()
+    for port in ctx.net.ports:
+        src_s = owner[port.node.id]
+        dst_s = owner[port.peer.id]
+        if src_s == dst_s:
+            continue
+        if getattr(port, "pfc", None) is not None:
+            raise ValueError(
+                f"port {port.name} has PFC installed and sits on a shard "
+                f"cut: PFC pause frames are scheduled directly onto the "
+                f"neighbor's port and cannot cross shards — run this "
+                f"topology serially or partition around the PFC domain")
+        if src_s == me:
+            _install_ship_hook(ctx, port, dst_s)
+        if dst_s == me:
+            ctx.cut_in[(port.node.id, port.peer.id)] = port
+
+
+def _install_ship_hook(ctx: ShardContext, port, dst_shard: int) -> None:
+    """Chain onto a cut port's transmit hook and export each packet.
+
+    The arrival time reproduces the port's own delivery schedule
+    (``now + tx_time + prop_delay``) exactly; the locally scheduled
+    delivery still fires, harmlessly, into the peer's receive stub.
+    """
+    prev = port.on_transmit
+    sim = ctx.sim
+    link = (port.node.id, port.peer.id)
+    export_seq = ctx._export_seq
+
+    def ship(pkt: Packet) -> None:
+        if prev is not None:
+            prev(pkt)
+        now = sim.now
+        arr = now + tx_time_ps(pkt.wire_bytes, port.rate_bps) + port.prop_delay_ps
+        # Resolve ``ctx.outbox`` at call time: the worker loop swaps in a
+        # fresh list after draining each window's exports.
+        ctx.outbox.append((dst_shard, link, arr, now, ctx.id,
+                           next(export_seq), _encode_packet(pkt)))
+
+    port.on_transmit = ship
+
+
+# ---------------------------------------------------------------------------
+# Packet codec (explicit fields: packets hold a live flow reference, which
+# must be re-bound to the receiving shard's replica, and uids are
+# process-local and unobserved by traces)
+# ---------------------------------------------------------------------------
+
+def _encode_packet(pkt: Packet) -> tuple:
+    return (int(pkt.kind), pkt.src, pkt.dst,
+            None if pkt.flow is None else pkt.flow.fid,
+            pkt.wire_bytes, pkt.payload_bytes, pkt.seq, pkt.ack,
+            pkt.credit_seq, pkt.ecn_capable, pkt.ecn_marked, pkt.ecn_echo,
+            pkt.rcp_rate, pkt.sent_ts, pkt.low_priority,
+            None if pkt.hops is None else list(pkt.hops))
+
+
+def _decode_packet(ctx: ShardContext, data: tuple) -> Packet:
+    (kind, src, dst, fid, wire, payload, seq, ack, credit_seq, ecn_capable,
+     ecn_marked, ecn_echo, rcp_rate, sent_ts, low_priority, hops) = data
+    pkt = Packet(PacketKind(kind), src, dst,
+                 flow=None if fid is None else ctx.flows.get(fid),
+                 wire_bytes=wire, payload_bytes=payload, seq=seq, ack=ack,
+                 credit_seq=credit_seq, ecn_capable=ecn_capable,
+                 sent_ts=sent_ts)
+    pkt.ecn_marked = ecn_marked
+    pkt.ecn_echo = ecn_echo
+    pkt.rcp_rate = rcp_rate
+    pkt.low_priority = low_priority
+    pkt.hops = hops
+    return pkt
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+def _find_net(built):
+    from repro.topology.network import Network
+
+    if isinstance(built, Network):
+        return built, None
+    net = getattr(built, "net", None)
+    if net is None and isinstance(built, dict):
+        net = built.get("net")
+    if net is None:
+        raise TypeError(
+            "builder must return a Network, an object with a .net "
+            f"attribute, or a dict with a 'net' key; got {type(built)!r}")
+    hint = getattr(built, "topo", None)
+    return net, (hint if hint is not None else built)
+
+
+def _digest(obj) -> str:
+    return hashlib.blake2b(pickle.dumps(obj), digest_size=8).hexdigest()
+
+
+def _rng_report(sim: Simulator) -> Tuple[Dict[str, str], Dict[str, bool]]:
+    """Per named stream: a state digest, and whether it was ever drawn from."""
+    digests, consumed = {}, {}
+    for name, stream in sim._rngs.items():
+        d = _digest(stream.getstate())
+        digests[name] = d
+        fresh = random.Random((sim.seed << 32) ^ zlib.crc32(name.encode()))
+        consumed[name] = d != _digest(fresh.getstate())
+    return digests, consumed
+
+
+def _shard_worker(conn, builder, kwargs, shard_id, n_shards, seed, sched,
+                  audit_on, metrics_on, collect, probe) -> None:
+    try:
+        _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed,
+                           sched, audit_on, metrics_on, collect, probe)
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+def _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed, sched,
+                       audit_on, metrics_on, collect, probe) -> None:
+    from repro import audit as audit_mod
+    from repro import obs as obs_mod
+
+    audit_marker = audit_mod.begin_capture() if audit_on else None
+    obs_marker = obs_mod.begin_capture() if metrics_on else None
+
+    sim = ShardSimulator(seed=seed, sched=sched)
+    ctx = ShardContext(sim, shard_id)
+    built = builder(sim, **(kwargs or {}))
+    ctx.built = built
+    ctx.net, topo_hint = _find_net(built)
+    ctx.owner = partition_nodes(ctx.net, n_shards, topo=topo_hint)
+    n_effective = max(ctx.owner.values()) + 1
+    auditor = getattr(sim, "auditor", None)
+    if auditor is not None and n_effective > 1:
+        auditor.defer_flow_checks = True
+    lookahead = cut_lookahead_ps(ctx.net, ctx.owner)
+    _apply_ownership(ctx)
+    conn.send(("ready", lookahead, n_effective,
+               _digest(sorted(ctx.owner.items())), sim.peek_time()))
+
+    while True:
+        msg = conn.recv()
+        cmd = msg[0]
+        if cmd == "run":
+            _, window_end, incoming = msg
+            for (link, arr, sched_t, src_shard, src_seq, data) in incoming:
+                port = ctx.cut_in[link]
+                pkt = _decode_packet(ctx, data)
+                sim.inject(arr, (sched_t, 1, src_shard, src_seq),
+                           port.peer.receive, pkt, port)
+            sim.run(until=window_end)
+            out = ctx.outbox
+            ctx.outbox = []
+            conn.send(("sync", sim.peek_time(), out))
+        elif cmd == "probe":
+            value = probe(ctx, msg[1]) if probe is not None else None
+            conn.send(("probe", msg[1], value))
+        elif cmd == "collect":
+            conn.send(("result", _collect_result(
+                ctx, collect, audit_marker, obs_marker)))
+            return
+        else:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unknown coordinator command {cmd!r}")
+
+
+def _collect_result(ctx: ShardContext, collect, audit_marker,
+                    obs_marker) -> dict:
+    from repro import audit as audit_mod
+    from repro import obs as obs_mod
+
+    sim = ctx.sim
+    digests, consumed = _rng_report(sim)
+    result = {
+        "shard": ctx.id,
+        "now": sim.now,
+        "events": sim.events_processed,
+        "pending": sim.pending(),
+        "rehashes": sum(f.path_rehashes for f in ctx.flows.values()),
+        "recoveries": sum(getattr(f, "path_recoveries", 0)
+                          for f in ctx.flows.values()),
+        "rng": digests,
+        "rng_consumed": consumed,
+        "collect": None if collect is None else collect(ctx),
+    }
+    if audit_marker is not None:
+        auditor = getattr(sim, "auditor", None)
+        accounts = [] if auditor is None else auditor.flow_accounts()
+        for account in accounts:
+            flow = ctx.flows.get(account["fid"])
+            account["dst_owned"] = (flow is not None
+                                    and ctx.owns(flow.dst.id))
+        result["flow_accounts"] = accounts
+        result["audit"] = audit_mod.end_capture(audit_marker)
+        chaos = getattr(sim, "chaos", None)
+        result["chaos"] = None if chaos is None else {
+            "topology_changed": chaos.topology_changed,
+            "affected_links": sorted(chaos.affected_links),
+        }
+    if obs_marker is not None:
+        summary, _ = obs_mod.end_capture(obs_marker)
+        result["metrics"] = summary
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardedRun:
+    """The merged outcome of one sharded execution."""
+
+    n_shards: int
+    n_effective: int
+    lookahead_ps: Optional[int]
+    windows: int
+    events: int
+    #: Raw per-shard result dicts, in shard order.
+    shards: List[dict]
+    #: ``collect(ctx)`` return values, in shard order.
+    collected: List[Any]
+    #: checkpoint time -> per-shard ``probe(ctx, t)`` values.
+    probes: Dict[int, List[Any]]
+    audit: Optional[dict] = None
+    metrics: Optional[dict] = None
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def drained(self) -> bool:
+        return all(r["pending"] == 0 for r in self.shards)
+
+
+def run_sharded(builder, kwargs: Optional[dict] = None, *,
+                shards: int, until: int, seed: int = 0,
+                sched: Optional[str] = None,
+                collect: Optional[Callable] = None,
+                probe: Optional[Callable] = None,
+                checkpoints: Sequence[int] = (),
+                audit: Optional[bool] = None,
+                metrics: Optional[bool] = None) -> ShardedRun:
+    """Execute ``builder``'s simulation to ``until`` across ``shards``
+    worker processes; bit-identical to the same build run serially.
+
+    ``builder(sim, **kwargs)`` must be a picklable module-level callable
+    that only *builds* (never runs) and returns the topology handle — a
+    ``Network``, anything with ``.net`` (optionally ``.topo`` for the
+    structural fat-tree partition), or a ``{"net": ...}`` dict.  It is
+    invoked identically in every worker; determinism of construction is
+    what makes the replicas line up.
+
+    ``collect(ctx)`` extracts one shard's picklable results at the end;
+    ``probe(ctx, t)`` does the same at each time in ``checkpoints`` with
+    every shard settled exactly at ``t`` (all events at or before ``t``
+    executed — the moral equivalent of reading state after
+    ``sim.run(until=t)`` serially).  Both receive the worker's
+    :class:`ShardContext` (``ctx.built``, ``ctx.flows``, ``ctx.owns``).
+
+    ``audit``/``metrics`` default to the ambient capture state
+    (:func:`repro.audit.is_active` / :func:`repro.obs.is_active`); when
+    active, per-shard captures run in the workers and the merged summary
+    — including the cross-shard flow invariant checks the workers defer —
+    is both returned and recorded into any open parent capture.
+    """
+    from repro import audit as audit_mod
+    from repro import obs as obs_mod
+
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    if until is None:
+        raise ValueError("sharded runs need an explicit time horizon")
+    checkpoints = sorted(set(checkpoints))
+    if checkpoints and checkpoints[-1] > until:
+        raise ValueError("checkpoints must lie within the run horizon")
+    audit_on = audit_mod.is_active() if audit is None else bool(audit)
+    metrics_on = obs_mod.is_active() if metrics is None else bool(metrics)
+
+    mp = multiprocessing.get_context()
+    conns, procs = [], []
+    try:
+        for shard_id in range(shards):
+            parent_conn, child_conn = mp.Pipe()
+            proc = mp.Process(
+                target=_shard_worker,
+                args=(child_conn, builder, kwargs, shard_id, shards, seed,
+                      sched, audit_on, metrics_on, collect, probe),
+                daemon=True)
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        readies = [_recv(conns[i], procs[i], i) for i in range(shards)]
+        lookahead, n_effective, owner_digest = readies[0][1:4]
+        for i, ready in enumerate(readies):
+            if ready[3] != owner_digest:
+                raise RuntimeError(
+                    f"shard {i} computed a different partition than shard 0 "
+                    f"— the builder is not deterministic across processes")
+        next_times = [r[4] for r in readies]
+
+        pending: List[List[tuple]] = [[] for _ in range(shards)]
+        probes: Dict[int, List[Any]] = {}
+        cp_idx = 0
+        windows = 0
+
+        def do_probe(t: int) -> None:
+            for conn in conns:
+                conn.send(("probe", t))
+            probes[t] = [_recv(conn, procs[i], i)[2]
+                         for i, conn in enumerate(conns)]
+
+        while True:
+            candidates = [t for t in next_times if t is not None]
+            candidates += [m[1] for shard_msgs in pending for m in shard_msgs]
+            window_start = min(candidates) if candidates else None
+            # Checkpoints strictly before the next event: every shard's
+            # state is already exactly the state at that instant.
+            while cp_idx < len(checkpoints) and (
+                    window_start is None
+                    or checkpoints[cp_idx] < window_start):
+                do_probe(checkpoints[cp_idx])
+                cp_idx += 1
+            if window_start is None or window_start > until:
+                break
+            window_end = until if lookahead is None \
+                else min(window_start + lookahead - 1, until)
+            if cp_idx < len(checkpoints) and checkpoints[cp_idx] <= window_end:
+                window_end = checkpoints[cp_idx]
+            for i, conn in enumerate(conns):
+                conn.send(("run", window_end, pending[i]))
+                pending[i] = []
+            for i, conn in enumerate(conns):
+                reply = _recv(conn, procs[i], i)
+                next_times[i] = reply[1]
+                for message in reply[2]:
+                    pending[message[0]].append(message[1:])
+            windows += 1
+            if cp_idx < len(checkpoints) and checkpoints[cp_idx] == window_end:
+                do_probe(checkpoints[cp_idx])
+                cp_idx += 1
+
+        for conn in conns:
+            conn.send(("collect",))
+        results: List[Optional[dict]] = [None] * shards
+        for i, conn in enumerate(conns):
+            reply = _recv(conn, procs[i], i)
+            results[reply[1]["shard"]] = reply[1]
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+
+    run = ShardedRun(
+        n_shards=shards,
+        n_effective=n_effective,
+        lookahead_ps=lookahead,
+        windows=windows,
+        events=sum(r["events"] for r in results),
+        shards=results,
+        collected=[r["collect"] for r in results],
+        probes=probes,
+    )
+    _merge_warnings(run)
+    if audit_on:
+        run.audit = _merge_audit(results, run.drained)
+        audit_mod.record_summary(run.audit)
+    if metrics_on:
+        run.metrics = obs_mod.merge_summaries(
+            [r["metrics"] for r in results])
+        obs_mod.record_summary(run.metrics)
+    return run
+
+
+def _recv(conn, proc, shard_id: int):
+    try:
+        reply = conn.recv()
+    except EOFError:
+        raise RuntimeError(
+            f"shard {shard_id} worker exited unexpectedly "
+            f"(exitcode {proc.exitcode})") from None
+    if reply[0] == "error":
+        raise RuntimeError(f"shard {shard_id} worker failed:\n{reply[1]}")
+    return reply
+
+
+def _merge_warnings(run: ShardedRun) -> None:
+    results = run.shards
+    rehashes = sum(r["rehashes"] for r in results)
+    recoveries = sum(r["recoveries"] for r in results)
+    if rehashes or recoveries:
+        run.warnings.append(
+            f"{rehashes} path rehash(es) / {recoveries} recovery(ies) fired: "
+            f"rehashed ECMP hashes do not propagate to other shards' "
+            f"replicas, so transit routing may diverge from a serial run")
+    names = sorted({name for r in results for name in r["rng_consumed"]})
+    for name in names:
+        drawn_in = [r["shard"] for r in results
+                    if r["rng_consumed"].get(name)]
+        if len(drawn_in) >= 2:
+            run.warnings.append(
+                f"shared RNG stream {name!r} was drawn from in shards "
+                f"{drawn_in}: per-shard draw order differs from serial, so "
+                f"results may diverge from a serial run")
+
+
+def _merge_audit(results: List[dict], drained: bool) -> dict:
+    from repro.audit import merge_summaries
+    from repro.audit.auditor import check_flow_account
+    from repro.audit.report import AuditReport
+
+    by_fid: Dict[int, List[dict]] = {}
+    for r in results:
+        for account in r.get("flow_accounts", ()):
+            by_fid.setdefault(account["fid"], []).append(account)
+    chaos_infos = [r.get("chaos") for r in results]
+    topology_changed = any(c["topology_changed"] for c in chaos_infos if c)
+    affected = set()
+    for c in chaos_infos:
+        if c:
+            affected.update(tuple(link) for link in c["affected_links"])
+    now = max((r["now"] for r in results), default=0)
+    report = AuditReport()
+    for fid in sorted(by_fid):
+        check_flow_account(report, _merge_flow_account(by_fid[fid]),
+                           drained, now,
+                           topology_changed=topology_changed,
+                           affected_links=affected)
+    merged = merge_summaries([r["audit"] for r in results]
+                             + [report.summary()])
+    merged["runs"] = 1  # one simulation, not n_shards + 1
+    return merged
+
+
+def _merge_flow_account(accounts: List[dict]) -> dict:
+    # Each counter increments in exactly one shard (delivery at the dst
+    # owner, credit receipt at the src owner, drops wherever the dropping
+    # port lives) while every other replica stays at zero — so plain sums
+    # reconstruct the serial totals.  The subject string comes from the
+    # dst-owner replica, whose delivery-side state matches serial.
+    base = next((a for a in accounts if a.get("dst_owned")), accounts[0])
+    merged = dict(base)
+    for key in ("data_links", "credit_links"):
+        merged[key] = sorted({tuple(link) for a in accounts
+                              for link in a[key]})
+    for key in ("bytes_delivered", "credits_received", "credit_drops",
+                "injected_credit_drops"):
+        merged[key] = sum(a[key] for a in accounts)
+    sent = [a["credits_sent"] for a in accounts
+            if a["credits_sent"] is not None]
+    merged["credits_sent"] = sum(sent) if sent else None
+    for key in ("completed", "started", "stopped"):
+        merged[key] = any(a[key] for a in accounts)
+    return merged

@@ -76,6 +76,9 @@ class Flow:
         auditor = getattr(self.sim, "auditor", None)
         if auditor is not None:
             auditor.register_flow(self)
+        shard = getattr(self.sim, "shard", None)
+        if shard is not None:
+            shard.register_flow(self)
         #: :class:`repro.obs.FlowSpan` when metrics are on, else None — so
         #: instrumentation points cost one attribute check per event.
         self.obs_span = None

@@ -117,6 +117,33 @@ def test_push_behind_cursor_after_rebuild_pops_first():
     assert q.pop() == (0, 10**6, None)
 
 
+def test_slow_path_retunes_stale_width():
+    """Regression: the year-scan pop branch must apply the same overfull-
+    bucket retune as the fast path.
+
+    Construction: 127 near-term events 1 ps apart make the stale width-1
+    layout plausible, while 129 events exactly one calendar year (n*width =
+    8 ps) apart all collide into one bucket.  Draining the near events is a
+    full queue turnover (pops >= size), so the first cluster pop — a year
+    scan, since each cluster event lies one year past the cursor window —
+    sees an overfull bucket (>= _RETUNE_LEN entries) and must re-estimate
+    the width from the cluster's real 8 ps gaps.  Without the slow-path
+    retune the width stays 1 forever and every remaining pop scans the
+    whole bucket array."""
+    q = CalendarQueue(width=1, n_buckets=8)
+    near = [(t, 0, None) for t in range(127)]
+    year = 8 * 1  # n_buckets * width
+    cluster = [(128 + k * year, 1, None) for k in range(129)]
+    for e in near + cluster:
+        q.push(e)
+    assert q.bucket_width == 1
+    expect = sorted(near + cluster)
+    out = [q.pop() for _ in range(128)]      # 127 near + 1 cluster pop
+    assert q.bucket_width > 1                # retuned on the year-scan pop
+    out += [q.pop() for _ in range(len(expect) - len(out))]
+    assert out == expect                     # order is untouched by retunes
+
+
 def test_sparse_year_wrap_direct_search():
     """Entries many years apart exercise the direct-search fallback."""
     q = CalendarQueue(width=4, n_buckets=2)

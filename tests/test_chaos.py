@@ -354,8 +354,9 @@ class TestRecoveryAcceptance:
     def test_watchdog_recovers_without_routing(self):
         """Reconvergence slower than the run: flows must re-hash themselves
         off the dead path (transport watchdog, not routing)."""
-        # All 8 flows so the flapped link is on someone's path at this seed.
-        row = run_point("link-flap", seed=1, reconverge_delay_ps=100 * MS,
+        # All 8 flows so the flapped link is on someone's path at this seed
+        # (re-pinned when per-flow/per-host RNG streams changed trajectories).
+        row = run_point("link-flap", seed=5, reconverge_delay_ps=100 * MS,
                         **dict(SMALL, n_flows=8))
         assert row["recoveries"] > 0 and row["rehashes"] > 0
         assert row["stalled"] == 0

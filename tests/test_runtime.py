@@ -46,6 +46,18 @@ def always_fails():
     raise ValueError("permanently broken task")
 
 
+def slow_ok(delay_s, tag=0):
+    import time
+    time.sleep(delay_s)
+    return {"tag": tag}
+
+
+def fails_after(delay_s):
+    import time
+    time.sleep(delay_s)
+    raise ValueError("boom after sleeping")
+
+
 FIG15_KWARGS = dict(protocols=("expresspass",), flow_counts=(2, 3),
                     warmup_ps=2 * MS, measure_ps=2 * MS)
 
@@ -104,6 +116,58 @@ class TestResultCache:
     def test_unpicklable_value_not_stored(self, tmp_path):
         cache = ResultCache(tmp_path)
         assert not cache.put("k" * 64, lambda: None)
+
+    # Torn or garbage entry bytes surface as very different exception types
+    # from pickle.load / the entry["value"] lookup; every one of them must
+    # count as a miss and prune the entry, never crash the sweep.
+    TORN_BLOBS = [
+        ("empty-file", b""),                         # EOFError
+        ("truncated-frame", b"\x80\x05\x95"),        # UnpicklingError
+        ("bad-int-literal", b"I123x\n."),            # ValueError
+        ("bad-utf8-string",
+         b"\x80\x04X\x04\x00\x00\x00\xff\xfe\xff\xfe."),  # UnicodeDecodeError
+        ("non-dict-entry", __import__("pickle").dumps(5)),   # TypeError
+        ("missing-value-key",
+         __import__("pickle").dumps({"task": "t"})),  # KeyError
+    ]
+
+    @pytest.mark.parametrize("blob", [b for _n, b in TORN_BLOBS],
+                             ids=[n for n, _b in TORN_BLOBS])
+    def test_torn_entry_is_a_miss_not_a_crash(self, tmp_path, blob):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(TaskSpec(cube, {"x": 7}))
+        assert cache.put(key, "value")
+        (tmp_path / f"{key}.pkl").write_bytes(blob)
+        hit, _ = cache.get(key)
+        assert not hit
+        assert not (tmp_path / f"{key}.pkl").exists()  # pruned
+
+    def test_put_eviction_is_rate_limited(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        scans = []
+        orig = ResultCache.evict
+        cache.evict = lambda: scans.append(1) or orig(cache)
+        for i in range(40):
+            cache.put(cache.key_for(TaskSpec(cube, {"x": i})), i)
+        # One scan on the first put of the instance's lifetime, then one
+        # every _EVICT_EVERY puts — not one per put (quadratic over sweeps).
+        assert len(scans) == 2
+        # Between scans the caps may be overshot, but only boundedly.
+        assert cache.stats()["entries"] <= 2 + ResultCache._EVICT_EVERY - 1
+        assert ResultCache(tmp_path, max_entries=2).evict() >= 0
+
+    def test_first_put_bounds_leftover_growth(self, tmp_path):
+        # Entries left behind by earlier processes are pruned by a fresh
+        # instance's very first put, not only after _EVICT_EVERY writes.
+        import os
+        old = ResultCache(tmp_path, max_entries=1000)
+        for i in range(10):
+            key = old.key_for(TaskSpec(cube, {"x": i}))
+            old.put(key, i)
+            os.utime(tmp_path / f"{key}.pkl", (1000 + i, 1000 + i))
+        fresh = ResultCache(tmp_path, max_entries=3)
+        fresh.put(fresh.key_for(TaskSpec(cube, {"x": 99})), 99)
+        assert fresh.stats()["entries"] <= 3
 
     def test_entry_cap_evicts_lru(self, tmp_path):
         cache = ResultCache(tmp_path, max_entries=3)
@@ -202,6 +266,42 @@ class TestScheduler:
             assert not bad.ok and "permanently broken" in bad.error
             assert bad.attempts == 2  # initial try + 1 retry
             assert good.ok and good.value["cube"] == 125
+
+    def test_pool_backoff_does_not_stall_collection(self, tmp_path):
+        # A retry backoff must never sleep on the dispatcher thread: while
+        # the flaky task waits out its (long) backoff window, the other
+        # tasks' completed futures are collected.  The telemetry stream
+        # orders the proof: both ok tasks finish before the flaky task's
+        # second attempt even starts.
+        log = tmp_path / "events.jsonl"
+        marker = tmp_path / "marker"
+        tasks = [TaskSpec(flaky_once, {"marker": str(marker)}, label="flaky"),
+                 TaskSpec(slow_ok, {"delay_s": 0.2, "tag": 0}, label="ok0"),
+                 TaskSpec(slow_ok, {"delay_s": 0.2, "tag": 1}, label="ok1")]
+        with runtime.using(parallel=3, cache_enabled=False, retries=1,
+                           backoff_s=1.0, telemetry_path=log):
+            results = run_tasks(tasks)
+        assert results[0].ok and results[0].value == "recovered"
+        assert results[0].attempts == 2
+        assert results[1].ok and results[2].ok
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        ok_done = [i for i, e in enumerate(events)
+                   if e["event"] == "task_done"
+                   and e["label"].startswith("ok")]
+        retry_start = [i for i, e in enumerate(events)
+                       if e["event"] == "task_started"
+                       and e["label"] == "flaky" and e["attempt"] == 2]
+        assert len(ok_done) == 2 and len(retry_start) == 1
+        assert max(ok_done) < retry_start[0]
+
+    def test_pool_failure_records_wall_time(self):
+        with runtime.using(parallel=2, cache_enabled=False, retries=0):
+            results = run_tasks([TaskSpec(fails_after, {"delay_s": 0.2},
+                                          label="f")])
+        assert not results[0].ok
+        assert "boom after sleeping" in results[0].error
+        # The pool path must record submission-to-failure wall time, not 0.
+        assert results[0].wall_s >= 0.15
 
     def test_unpicklable_task_degrades_to_serial(self):
         with runtime.using(parallel=2, cache_enabled=False):
