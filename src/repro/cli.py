@@ -12,6 +12,8 @@ Usage::
     python -m repro run fig15 --profile --parallel 4  # profile the workers too
     python -m repro run fig13 --metrics               # obs summary on stderr
     python -m repro obs fig13 --jsonl run.jsonl --csv run.csv --dashboard
+    python -m repro run fig10 --trace trace.jsonl     # where did the time go?
+    python -m repro trace summarize trace.jsonl
     python -m repro cache stats
     python -m repro cache clear
 
@@ -33,6 +35,7 @@ import argparse
 import contextlib
 import inspect
 import json
+import os
 import pathlib
 import sys
 from typing import Callable, Dict
@@ -145,6 +148,10 @@ def main(argv=None) -> int:
                        help="best-effort per-task timeout in seconds")
         p.add_argument("--telemetry", default=None, metavar="FILE",
                        help="append sweep events as JSONL to FILE")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="capture a cross-layer trace (repro.obs.trace): "
+                            "JSONL at FILE plus Perfetto-loadable "
+                            "FILE.perfetto.json (default REPRO_TRACE)")
         p.add_argument("--audit", action="store_true",
                        help="run under the runtime verifier (repro.audit): "
                             "check clock monotonicity, credit rate bounds, "
@@ -237,6 +244,11 @@ def main(argv=None) -> int:
                          help="best-effort per-cell timeout in seconds")
     matrixp.add_argument("--telemetry", default=None, metavar="FILE",
                          help="append runtime events as JSONL to FILE")
+    matrixp.add_argument("--trace", default=None, metavar="FILE",
+                         help="capture a cross-layer trace "
+                              "(repro.obs.trace): JSONL at FILE plus "
+                              "Perfetto-loadable FILE.perfetto.json "
+                              "(default REPRO_TRACE)")
     matrixp.add_argument("--audit", action="store_true",
                          help="run every cell under the runtime verifier; "
                               "exit 1 on any violation")
@@ -257,6 +269,14 @@ def main(argv=None) -> int:
     cachep = sub.add_parser(
         "cache", help="inspect or clear the experiment result cache")
     cachep.add_argument("action", choices=("stats", "clear"))
+    tracep = sub.add_parser(
+        "trace",
+        help="inspect a repro.obs.trace JSONL file: per-layer time sinks "
+             "and the shard-imbalance table (summarize), or schema-check "
+             "it (validate)")
+    tracep.add_argument("action", choices=("summarize", "validate"))
+    tracep.add_argument("path", help="trace JSONL file (from --trace or "
+                                     "REPRO_TRACE)")
     chaosp = sub.add_parser(
         "chaos",
         help="run a fault-injection scenario on a k=4 fat tree under the "
@@ -296,10 +316,30 @@ def main(argv=None) -> int:
                   f" (cap {stats['max_entries']})")
             print(f"total size: {stats['total_bytes'] / 1e6:.2f} MB"
                   f" (cap {stats['max_bytes'] / 1e6:.0f} MB)")
+            print(f"torn entries pruned:    {stats['torn_pruned']}")
+            print(f"eviction scans skipped: "
+                  f"{stats['eviction_scans_skipped']}")
         else:
             removed = cache.clear()
             print(f"removed {removed} entries from {cache.directory}")
         return 0
+
+    if args.command == "trace":
+        from repro.obs import trace as obs_trace
+        try:
+            if args.action == "validate":
+                info = obs_trace.validate_jsonl(args.path)
+                counts = ", ".join(f"{k}={v}" for k, v
+                                   in sorted(info["records"].items()))
+                print(f"{args.path}: OK ({info['lines']} line(s); {counts})")
+                return 0
+            data = obs_trace.load_jsonl(args.path)
+            print(obs_trace.format_summary(obs_trace.summarize(
+                data["records"])))
+            return 0
+        except (OSError, ValueError) as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 1
 
     if args.command == "scenarios":
         from repro import scenarios as sc
@@ -386,6 +426,12 @@ def main(argv=None) -> int:
             # Cached results carry no metrics (same rule as `repro obs`).
             config_overrides["metrics"] = True
             config_overrides["cache_enabled"] = False
+        trace_path = args.trace or os.environ.get("REPRO_TRACE")
+        tracer = None
+        if trace_path:
+            from repro.obs import trace as obs_trace
+            tracer = obs_trace.activate()
+            config_overrides["trace"] = True
         audit_verdict = None
         metrics_summary = None
         with contextlib.ExitStack() as stack:
@@ -412,6 +458,11 @@ def main(argv=None) -> int:
         if do_metrics:
             metrics_summary = obs.merge_summaries(
                 [ocap.summary, obs.session_summary()])
+        if tracer is not None:
+            obs_trace.deactivate()
+            n = obs_trace.write_files(tracer, trace_path)
+            print(f"wrote {n} trace record(s) to {trace_path} "
+                  f"(+ {trace_path}.perfetto.json)", file=sys.stderr)
         report = outcome.report
         # Reports go to explicit file handles, never stdout: the JSONL/CSV
         # streams must stay clean of anything the surrounding environment
@@ -565,6 +616,12 @@ def main(argv=None) -> int:
         # Same logic as profiling: cached results carry no metrics.
         config_overrides["metrics"] = True
         config_overrides["cache_enabled"] = False
+    trace_path = getattr(args, "trace", None) or os.environ.get("REPRO_TRACE")
+    tracer = None
+    if trace_path:
+        from repro.obs import trace as obs_trace
+        tracer = obs_trace.activate()
+        config_overrides["trace"] = True
 
     # Outer captures cover simulations the experiment runs directly in this
     # process; sweep tasks are captured individually by the scheduler (in
@@ -619,6 +676,11 @@ def main(argv=None) -> int:
             n = obs_export.dump_traces(args.pcap, tracers)
             print(f"wrote {n} packet record(s) to {args.pcap}",
                   file=sys.stderr)
+    if tracer is not None:
+        obs_trace.deactivate()
+        n = obs_trace.write_files(tracer, trace_path)
+        print(f"wrote {n} trace record(s) to {trace_path} "
+              f"(+ {trace_path}.perfetto.json)", file=sys.stderr)
     if args.json:
         print(json.dumps({"name": result.name, "rows": result.rows,
                           "meta": result.meta}, indent=2, default=str))

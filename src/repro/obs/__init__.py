@@ -27,6 +27,13 @@ Captures nest like :mod:`repro.audit`'s: the :mod:`repro.runtime` scheduler
 opens one per sweep task (in the worker process, if parallel) and ships the
 summary dict back on ``TaskResult.metrics``; an outer CLI capture does not
 double count registries an inner capture already claimed.
+
+A fourth, orthogonal plane lives in :mod:`repro.obs.trace`: cross-layer
+*causal* tracing (wall-clock and sim-clock spans across the runtime
+scheduler, shard window loop, matrix cells, and sim phases), activated by
+``--trace``/``REPRO_TRACE`` and exported as validated JSONL plus
+Chrome/Perfetto JSON.  Metrics aggregate *what* the simulation did; the
+trace shows *where the wall-clock time went* doing it.
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import json
 import os
 import pathlib
 import pickle
@@ -81,6 +82,10 @@ class ResultCache:
     #: entries between scans; an explicit :meth:`evict` is always exact.
     _EVICT_EVERY = 32
 
+    #: Hygiene counters persisted (best-effort) in ``counters.json`` next to
+    #: the entries, so ``repro cache stats`` sees events from past processes.
+    _COUNTER_KEYS = ("torn_pruned", "eviction_scans_skipped")
+
     def __init__(
         self,
         directory: pathlib.Path,
@@ -91,6 +96,7 @@ class ResultCache:
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self._puts_until_evict = 0
+        self._unflushed = {k: 0 for k in self._COUNTER_KEYS}
 
     # -- keys ---------------------------------------------------------------
 
@@ -122,6 +128,7 @@ class ResultCache:
                     path.unlink()
                 except OSError:
                     pass
+                self._bump("torn_pruned", flush=True)
             return False, None
         try:
             os.utime(path)  # refresh LRU recency
@@ -153,7 +160,58 @@ class ResultCache:
         if self._puts_until_evict < 0:
             self.evict()
             self._puts_until_evict = self._EVICT_EVERY - 1
+            self._flush_counters()
+        else:
+            self._bump("eviction_scans_skipped")
         return True
+
+    # -- hygiene counters ---------------------------------------------------
+
+    def _counters_path(self) -> pathlib.Path:
+        return self.directory / "counters.json"
+
+    def _load_counters(self) -> dict:
+        """Persisted totals from the sidecar (zeros if absent/corrupt)."""
+        try:
+            data = json.loads(self._counters_path().read_text())
+            return {k: int(data.get(k, 0)) for k in self._COUNTER_KEYS}
+        except (OSError, ValueError, TypeError, AttributeError):
+            return {k: 0 for k in self._COUNTER_KEYS}
+
+    def _bump(self, name: str, flush: bool = False) -> None:
+        self._unflushed[name] += 1
+        if flush:
+            self._flush_counters()
+
+    def _flush_counters(self) -> None:
+        """Fold in-memory deltas into the sidecar (atomic, best-effort).
+
+        Flushed on torn-entry prunes (rare) and alongside each amortized
+        eviction scan — never per put.  Concurrent writers can lose each
+        other's deltas; the counters are best-effort diagnostics, not
+        accounting.
+        """
+        if not any(self._unflushed.values()):
+            return
+        totals = self._load_counters()
+        for key in self._COUNTER_KEYS:
+            totals[key] += self._unflushed[key]
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                json.dump(totals, fh, sort_keys=True)
+            os.replace(tmp, self._counters_path())
+        except OSError:
+            return
+        self._unflushed = {k: 0 for k in self._COUNTER_KEYS}
+
+    def counters(self) -> dict:
+        """Persisted totals plus any deltas not yet flushed."""
+        totals = self._load_counters()
+        for key in self._COUNTER_KEYS:
+            totals[key] += self._unflushed[key]
+        return totals
 
     # -- hygiene ------------------------------------------------------------
 
@@ -193,6 +251,7 @@ class ResultCache:
             "total_bytes": sum(size for _, _, size in entries),
             "max_bytes": self.max_bytes,
             "max_entries": self.max_entries,
+            **self.counters(),
         }
 
     def clear(self) -> int:

@@ -32,6 +32,10 @@ Environment variables (all optional) seed the defaults:
                             (:mod:`repro.sim.parallel`); 0/1 = serial
                             (default 0).  Execution policy, not science:
                             never part of task fingerprints or cache keys
+``REPRO_TRACE``             path for a cross-layer trace
+                            (:mod:`repro.obs.trace`): JSONL at the path
+                            plus Perfetto-loadable ``<path>.perfetto.json``.
+                            Observation-only — never part of fingerprints
 ==========================  =====================================================
 """
 
@@ -90,6 +94,10 @@ class RuntimeConfig:
     #: this is execution policy — sharded runs are bit-identical to serial,
     #: so it never enters task fingerprints or cache keys.
     shards: int = 0
+    #: Capture cross-layer spans (:mod:`repro.obs.trace`) for every task.
+    #: Observation-only execution policy: the tracer touches no RNG, event
+    #: heap, or fingerprint, so results are bit-identical either way.
+    trace: bool = False
 
     @classmethod
     def from_env(cls, environ=None) -> "RuntimeConfig":
@@ -120,6 +128,7 @@ class RuntimeConfig:
             profile=env.get("REPRO_PROFILE", "") in ("1", "true"),
             metrics=env.get("REPRO_METRICS", "") in ("1", "true"),
             shards=_int("REPRO_SHARDS", 0),
+            trace=bool(env.get("REPRO_TRACE")),
         )
 
     def resolved_cache_dir(self) -> pathlib.Path:

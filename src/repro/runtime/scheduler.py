@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import concurrent.futures as futures
 import contextlib
+import os
 import pickle
 import time
 from concurrent.futures.process import BrokenProcessPool
@@ -57,6 +58,11 @@ class TaskResult:
     #: Per-task metrics summary dict when the run executed under
     #: ``RuntimeConfig.metrics``; ``None`` for unmetered or cached tasks.
     metrics: Optional[dict] = None
+    #: Per-task trace report when a tracer was active: the executing
+    #: process's pid, run window (absolute ``time.monotonic`` seconds), and
+    #: its bounded record buffer, stitched into the parent tracer by the
+    #: telemetry recorder.  ``None`` when tracing is off or cache-served.
+    trace: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -74,18 +80,22 @@ class SweepError(RuntimeError):
 
 
 def _call(spec: TaskSpec, audit_enabled: bool = False,
-          profile_enabled: bool = False, metrics_enabled: bool = False) -> tuple:
+          profile_enabled: bool = False, metrics_enabled: bool = False,
+          trace_enabled: bool = False) -> tuple:
     """Worker entry point (module-level so it pickles).
 
-    Returns ``(value, audit_summary, profile_summary, metrics_summary)``;
-    each summary is ``None`` unless the task ran under the matching
-    ``RuntimeConfig`` knob.  Capturing happens *here*, in whichever process
-    executes the task, so parallel workers audit/profile/meter their own
-    simulations and ship plain-dict results back.
+    Returns ``(value, audit_summary, profile_summary, metrics_summary,
+    trace_report)``; each is ``None`` unless the task ran under the
+    matching ``RuntimeConfig`` knob.  Capturing happens *here*, in
+    whichever process executes the task, so parallel workers
+    audit/profile/meter/trace their own simulations and ship plain-dict
+    results back.
     """
-    if not audit_enabled and not profile_enabled and not metrics_enabled:
-        return spec.call(), None, None, None
-    cap = session = ocap = None
+    if not (audit_enabled or profile_enabled or metrics_enabled
+            or trace_enabled):
+        return spec.call(), None, None, None, None
+    cap = session = ocap = tcol = None
+    t0 = 0.0
     with contextlib.ExitStack() as stack:
         if audit_enabled:
             from repro import audit
@@ -96,17 +106,33 @@ def _call(spec: TaskSpec, audit_enabled: bool = False,
         if metrics_enabled:
             from repro import obs
             ocap = stack.enter_context(obs.capture())
+        if trace_enabled:
+            from repro.obs import trace as obs_trace
+            tcol = stack.enter_context(obs_trace.collect())
+            t0 = time.monotonic()
         value = spec.call()
+    trace_report = None
+    if tcol is not None:
+        trace_report = {"pid": os.getpid(), "t0": t0,
+                        "t1": time.monotonic(), "trace": tcol.blob}
     return (value,
             cap.summary if cap is not None else None,
             session.report.as_dict() if session is not None else None,
-            ocap.summary if ocap is not None else None)
+            ocap.summary if ocap is not None else None,
+            trace_report)
 
 
 def _worker_init() -> None:
-    """Force serial execution inside workers (no nested pools)."""
+    """Force serial execution inside workers (no nested pools).
+
+    Also drops ``REPRO_TRACE`` from the worker's environment: the worker
+    traces into a per-task capture buffer shipped back on the result, and
+    must never lazily activate its own ambient tracer (which would race
+    the parent for the output file at exit).
+    """
     from repro.runtime import config as _config
 
+    os.environ.pop("REPRO_TRACE", None)
     _config.configure(parallel=0, progress=False)
 
 
@@ -154,6 +180,8 @@ def run_tasks(
     tel = telemetry or Telemetry(name, len(specs),
                                  jsonl_path=config.telemetry_path,
                                  progress=config.progress)
+    from repro.obs import trace as obs_trace
+    trace_on = config.trace or obs_trace.emit_target() is not None
 
     cache = None
     if config.cache_enabled:
@@ -177,9 +205,11 @@ def run_tasks(
         pending.append(i)
 
     if pending and config.parallel >= 2:
-        pending = _run_pool(specs, pending, results, config, tel, cache, keys)
+        pending = _run_pool(specs, pending, results, config, tel, cache,
+                            keys, trace_on)
     if pending:
-        _run_serial(specs, pending, results, config, tel, cache, keys)
+        _run_serial(specs, pending, results, config, tel, cache, keys,
+                    trace_on)
 
     tel.close()
     return [r for r in results if r is not None]
@@ -191,7 +221,8 @@ def _store(cache: Optional[ResultCache], keys: Dict[int, str], index: int,
         cache.put(keys[index], value, task=spec.identity, elapsed_s=wall_s)
 
 
-def _run_serial(specs, indices, results, config, tel, cache, keys) -> None:
+def _run_serial(specs, indices, results, config, tel, cache, keys,
+                trace_on: bool = False) -> None:
     for i in indices:
         spec = specs[i]
         attempts = 0
@@ -200,13 +231,17 @@ def _run_serial(specs, indices, results, config, tel, cache, keys) -> None:
             tel.task_started(i, spec.label, attempts)
             start = time.monotonic()
             try:
-                value, audit_summary, profile_summary, metrics_summary = _call(
-                    spec, config.audit, config.profile, config.metrics)
+                (value, audit_summary, profile_summary, metrics_summary,
+                 trace_report) = _call(spec, config.audit, config.profile,
+                                       config.metrics, trace_on)
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 if attempts <= config.retries:
                     tel.task_retry(i, spec.label, attempts, error)
-                    time.sleep(config.backoff_s * (2 ** (attempts - 1)))
+                    backoff = config.backoff_s * (2 ** (attempts - 1))
+                    tel.task_deferred(i, spec.label, backoff)
+                    time.sleep(backoff)
+                    tel.task_resubmitted(i, spec.label, attempts + 1)
                     continue
                 results[i] = TaskResult(i, spec.label, error=error,
                                         attempts=attempts,
@@ -218,16 +253,19 @@ def _run_serial(specs, indices, results, config, tel, cache, keys) -> None:
                                     attempts=attempts, wall_s=wall,
                                     audit=audit_summary,
                                     profile=profile_summary,
-                                    metrics=metrics_summary)
+                                    metrics=metrics_summary,
+                                    trace=trace_report)
             _bank_audit(spec.label, audit_summary)
             _bank_profile(spec.label, profile_summary)
             _bank_metrics(spec.label, metrics_summary)
+            tel.task_trace(i, trace_report)
             _store(cache, keys, i, spec, value, wall)
             tel.task_done(i, spec.label, wall)
             break
 
 
-def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
+def _run_pool(specs, indices, results, config, tel, cache, keys,
+              trace_on: bool = False) -> List[int]:
     """Run ``indices`` on a process pool; returns indices left for serial."""
     try:
         pool = futures.ProcessPoolExecutor(max_workers=config.parallel,
@@ -250,7 +288,7 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
         attempts[i] += 1
         tel.task_started(i, specs[i].label, attempts[i])
         fut = pool.submit(_call, specs[i], config.audit, config.profile,
-                          config.metrics)
+                          config.metrics, trace_on)
         inflight[fut] = (i, time.monotonic())
 
     def record_failure(i: int, error: str, wall_s: float = 0.0,
@@ -259,6 +297,7 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
             tel.task_retry(i, specs[i].label, attempts[i], error)
             backoff = config.backoff_s * (2 ** (attempts[i] - 1))
             deferred[i] = time.monotonic() + backoff
+            tel.task_deferred(i, specs[i].label, backoff)
         else:
             results[i] = TaskResult(i, specs[i].label, error=error,
                                     attempts=attempts[i], wall_s=wall_s)
@@ -281,6 +320,7 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
             now = time.monotonic()
             for i in [j for j, due in deferred.items() if due <= now]:
                 del deferred[i]
+                tel.task_resubmitted(i, specs[i].label, attempts[i] + 1)
                 submit(i)
             if config.task_timeout_s is not None:
                 for fut, (i, t_submit) in list(inflight.items()):
@@ -297,7 +337,7 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                 i, t_submit = inflight.pop(fut)
                 try:
                     (value, audit_summary, profile_summary,
-                     metrics_summary) = fut.result()
+                     metrics_summary, trace_report) = fut.result()
                 except BrokenProcessPool as exc:
                     tel.degraded(f"worker pool broke: {exc}")
                     leftovers = [j for j in attempts if results[j] is None]
@@ -322,10 +362,12 @@ def _run_pool(specs, indices, results, config, tel, cache, keys) -> List[int]:
                                         attempts=attempts[i], wall_s=wall,
                                         audit=audit_summary,
                                         profile=profile_summary,
-                                        metrics=metrics_summary)
+                                        metrics=metrics_summary,
+                                        trace=trace_report)
                 _bank_audit(specs[i].label, audit_summary)
                 _bank_profile(specs[i].label, profile_summary)
                 _bank_metrics(specs[i].label, metrics_summary)
+                tel.task_trace(i, trace_report)
                 _store(cache, keys, i, specs[i], value, wall)
                 tel.task_done(i, specs[i].label, wall)
     finally:

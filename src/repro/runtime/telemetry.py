@@ -9,6 +9,12 @@ The ticker rewrites a single stderr line (``\\r``) while tasks run and is
 enabled only on a tty (or when forced), so pytest/CI logs stay clean.  The
 one-line summary at the end — task counts, failures, cache hit rate, wall
 time — prints whenever the ticker is enabled.
+
+Telemetry is also the single funnel feeding the runtime layer of
+``repro.obs.trace``: when a tracer is active, every state change forwards
+to a :class:`~repro.obs.trace.TaskRecorder`, which turns it into task /
+attempt / worker-lane spans.  With tracing off the forwarding is one
+``is None`` check per event.
 """
 
 from __future__ import annotations
@@ -44,9 +50,12 @@ class Telemetry:
         self._ticker_live = False
         self.counts = {
             "queued": 0, "running": 0, "done": 0, "failed": 0,
-            "retries": 0, "cache_hits": 0, "cache_misses": 0,
+            "retries": 0, "deferred": 0, "resubmitted": 0,
+            "cache_hits": 0, "cache_misses": 0,
         }
         self.task_wall_s: dict = {}
+        from repro.obs.trace import TaskRecorder  # dep-free module
+        self.recorder = TaskRecorder.maybe(sweep)
 
     # -- event plumbing -----------------------------------------------------
 
@@ -63,11 +72,15 @@ class Telemetry:
         with self._lock:
             self.counts["queued"] += 1
         self.emit("task_queued", index=index, label=label)
+        if self.recorder is not None:
+            self.recorder.queued(index, label)
 
     def task_started(self, index: int, label: str, attempt: int) -> None:
         with self._lock:
             self.counts["running"] += 1
         self.emit("task_started", index=index, label=label, attempt=attempt)
+        if self.recorder is not None:
+            self.recorder.started(index, label, attempt)
         self.tick()
 
     def task_done(self, index: int, label: str, wall_s: float,
@@ -78,6 +91,8 @@ class Telemetry:
             self.task_wall_s[index] = wall_s
         self.emit("task_done", index=index, label=label,
                   wall_s=round(wall_s, 6), cached=cached)
+        if self.recorder is not None:
+            self.recorder.done(index, label, cached=cached)
         self.tick()
 
     def task_failed(self, index: int, label: str, error: str,
@@ -87,6 +102,8 @@ class Telemetry:
             self.counts["failed"] += 1
         self.emit("task_failed", index=index, label=label,
                   error=error, attempts=attempts)
+        if self.recorder is not None:
+            self.recorder.failed(index, label, error, attempts)
         self.tick()
 
     def task_retry(self, index: int, label: str, attempt: int,
@@ -96,12 +113,40 @@ class Telemetry:
             self.counts["retries"] += 1
         self.emit("task_retry", index=index, label=label,
                   attempt=attempt, error=error)
+        if self.recorder is not None:
+            self.recorder.retry(index, label, attempt, error)
+
+    def task_deferred(self, index: int, label: str, backoff_s: float) -> None:
+        """A retry parked for ``backoff_s`` before resubmission."""
+        with self._lock:
+            self.counts["deferred"] += 1
+        self.emit("task_deferred", index=index, label=label,
+                  backoff_s=round(backoff_s, 6),
+                  due_t=round(time.time() + backoff_s, 6))
+        if self.recorder is not None:
+            self.recorder.deferred(index, label, backoff_s)
+
+    def task_resubmitted(self, index: int, label: str, attempt: int) -> None:
+        """A backoff-deferred task re-entering the pool/serial loop."""
+        with self._lock:
+            self.counts["resubmitted"] += 1
+        self.emit("task_resubmitted", index=index, label=label,
+                  attempt=attempt)
+        if self.recorder is not None:
+            self.recorder.resubmitted(index, label, attempt)
+
+    def task_trace(self, index: int, blob: Optional[dict]) -> None:
+        """Bank the executing process's trace report (no counter/JSONL)."""
+        if self.recorder is not None and blob is not None:
+            self.recorder.task_blob(index, blob)
 
     def cache_hit(self, index: int, label: str) -> None:
         with self._lock:
             self.counts["cache_hits"] += 1
             self.counts["done"] += 1
         self.emit("cache_hit", index=index, label=label)
+        if self.recorder is not None:
+            self.recorder.done(index, label, cached=True)
         self.tick()
 
     def cache_miss(self, index: int, label: str) -> None:
@@ -156,10 +201,14 @@ class Telemetry:
             c = self.counts
             rate = self.hit_rate()
             rate_txt = f"{100 * rate:.0f}%" if rate is not None else "n/a"
+            retry_txt = f"{c['retries']} retries"
+            if c["deferred"]:
+                retry_txt += (f" ({c['deferred']} deferred, "
+                              f"{c['resubmitted']} resubmitted)")
             with self._lock:
                 if self._ticker_live:
                     self._write("\r" + " " * 78 + "\r")
                 self._write(
                     f"[{self.sweep}] {c['done']}/{self.total} tasks done, "
-                    f"{c['failed']} failed, {c['retries']} retries, "
+                    f"{c['failed']} failed, {retry_txt}, "
                     f"cache hit rate {rate_txt}, {self.wall_s:.1f}s\n")

@@ -319,6 +319,10 @@ def run_persistent(
             rate_bps, prop_delay_ps, warmup_ps, measure_ps, bin_ps, seed,
             ep_profile, ep_params, chaos_plan)
 
+    from repro.obs import trace as obs_trace
+    tracer = obs_trace.emit_target()
+
+    build_t0 = tracer.now_us() if tracer is not None else 0.0
     sim = Simulator(seed=seed)
     built = _persistent_cell_builder(
         sim, protocol=protocol, n_flows=n_flows, topology=topology,
@@ -327,11 +331,27 @@ def run_persistent(
         measure_ps=measure_ps, bin_ps=bin_ps, ep_profile=ep_profile,
         ep_params=ep_params, chaos_plan=chaos_plan)
     flows = built.flows
+    if tracer is not None:
+        tracer.span("sim", "cell.build", track="phases",
+                    t0=build_t0, t1=tracer.now_us(),
+                    args={"protocol": protocol, "topology": topology,
+                          "flows": n_flows})
 
     horizon_ps = warmup_ps + measure_ps
+    warm_t0 = tracer.now_us() if tracer is not None else 0.0
     sim.run(until=warmup_ps)
+    if tracer is not None:
+        tracer.span("sim", "cell.warmup", track="phases.sim", clock="sim",
+                    t0=0, t1=warmup_ps,
+                    args={"wall_us": round(tracer.now_us() - warm_t0, 3)})
     base = {f: f.bytes_delivered for f in flows}
+    meas_t0 = tracer.now_us() if tracer is not None else 0.0
     sim.run(until=horizon_ps)
+    if tracer is not None:
+        tracer.span("sim", "cell.measure", track="phases.sim", clock="sim",
+                    t0=warmup_ps, t1=horizon_ps,
+                    args={"wall_us": round(tracer.now_us() - meas_t0, 3)})
+    fin_t0 = tracer.now_us() if tracer is not None else 0.0
     seconds = measure_ps / 1e12
     rates = [(f.bytes_delivered - base[f]) * 8 / seconds for f in flows]
 
@@ -342,10 +362,15 @@ def run_persistent(
         "injected_credit": chaos.total_injected_credit,
         "injected_data": chaos.total_injected_data,
     }
-    return _persistent_row(
+    row = _persistent_row(
         protocol, n_flows, topology, seed, rates, built.capacity_bps,
         built.net.max_data_queue_bytes(), built.net.total_data_drops(),
         built.totals, bin_ps, warmup_ps, chaos_stats)
+    if tracer is not None:
+        tracer.span("sim", "cell.finalize", track="phases",
+                    t0=fin_t0, t1=tracer.now_us(),
+                    args={"protocol": protocol})
+    return row
 
 
 def _run_persistent_sharded(shards: int, protocol: str, n_flows: int,
@@ -361,8 +386,10 @@ def _run_persistent_sharded(shards: int, protocol: str, n_flows: int,
     elementwise bin-total sums, max of per-shard queue maxima, drop sums)
     and defers every float to :func:`_persistent_row`.
     """
+    from repro.obs import trace as obs_trace
     from repro.sim.parallel import run_sharded
 
+    tracer = obs_trace.emit_target()
     horizon_ps = warmup_ps + measure_ps
     run = run_sharded(
         _persistent_cell_builder,
@@ -375,6 +402,7 @@ def _run_persistent_sharded(shards: int, protocol: str, n_flows: int,
         collect=_persistent_cell_collect, probe=_persistent_cell_probe,
         checkpoints=(warmup_ps,))
 
+    merge_t0 = tracer.now_us() if tracer is not None else 0.0
     cols = run.collected
     base: Dict[int, int] = {}
     for shard_base in run.probes[warmup_ps]:
@@ -387,11 +415,17 @@ def _run_persistent_sharded(shards: int, protocol: str, n_flows: int,
              for fid in cols[0]["fids"]]
     totals = [sum(c["totals"][i] for c in cols)
               for i in range(len(cols[0]["totals"]))]
-    return _persistent_row(
+    row = _persistent_row(
         protocol, n_flows, topology, seed, rates, cols[0]["capacity_bps"],
         max(c["max_queue_bytes"] for c in cols),
         sum(c["data_drops"] for c in cols),
         totals, bin_ps, warmup_ps, cols[0]["chaos"])
+    if tracer is not None:
+        tracer.span("sim", "cell.merge", track="phases",
+                    t0=merge_t0, t1=tracer.now_us(),
+                    args={"protocol": protocol, "shards": shards,
+                          "windows": run.windows})
+    return row
 
 
 def run_poisson(
@@ -428,12 +462,21 @@ def run_poisson(
         print("repro: shards>1 applies to persistent cells only; "
               "poisson cells run serially", file=sys.stderr)
 
+    from repro.obs import trace as obs_trace
+    tracer = obs_trace.emit_target()
+    run_t0 = tracer.now_us() if tracer is not None else 0.0
+
     result = run_realistic(
         protocol, distribution, load, n_flows,
         rate_bps=rate_bps, core_rate_bps=core_rate_bps, seed=seed,
         ep_params=resolve_ep_profile(ep_profile),
         size_cap_bytes=size_cap_bytes, drain_ps=drain_ps,
         chaos_plan=chaos_plan)
+    if tracer is not None:
+        tracer.span("sim", "cell.poisson", track="phases",
+                    t0=run_t0, t1=tracer.now_us(),
+                    args={"protocol": protocol, "workload": distribution,
+                          "load": load, "flows": n_flows})
 
     fcts_ps = [f.fct_ps for f in result.flows
                if f.fct_ps is not None and f.size_bytes is not None]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime import SweepPlan, TaskSpec
@@ -244,9 +244,14 @@ def compile_scenario(scenario: Scenario,
             parts = [f"{_short(a)}={v}" for a, v in coords]
             parts.append(f"seed={seed}")
             label = f"{scenario.name}[{' '.join(parts)}]"
+            # Relabel the task with the cell label so progress, telemetry
+            # and trace spans name cells by their coordinates rather than
+            # by the shared cell function.  Labels are display-only:
+            # ``TaskSpec.identity`` (and thus cache keys) ignore them.
+            task = replace(_lower_cell(variant, seed), label=label)
             out.append(Cell(index=len(out), label=label,
                             axes=coords + (("seed", seed),), seed=seed,
-                            task=_lower_cell(variant, seed)))
+                            task=task))
     return CompiledMatrix(scenario, tuple(out))
 
 

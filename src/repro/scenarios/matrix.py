@@ -66,10 +66,33 @@ def run_matrix(scenario: Scenario,
     # an explicit ``--shards``/``REPRO_SHARDS`` — even 1, serial — wins).
     # It never reaches cell kwargs, so cache keys are unaffected.
     spec_shards = int(scenario.timing.get("shards", 1))
+    from repro.obs import trace as obs_trace
+    tracer = obs_trace.emit_target()
+    if tracer is not None:
+        # Annotate before the sweep: the runtime recorder merges each
+        # cell's spec axes into its task span as it finishes.
+        for cell in matrix.cells:
+            tracer.annotate(cell.label, dict(cell.axes, seed=cell.seed))
     with contextlib.ExitStack() as stack:
         if spec_shards > 1 and get_config().shards == 0:
             stack.enter_context(using(shards=spec_shards))
         results = run_tasks(matrix.plan())
+    if tracer is not None:
+        # One cell-layer span per cell, linked to its scheduler task span
+        # (same interval — the cell layer re-keys the timeline by science
+        # axes rather than execution order).
+        for cell, result in zip(matrix.cells, results):
+            interval = tracer.task_spans.get(result.index)
+            t_now = tracer.now_us()
+            t0 = interval["t0"] if interval else t_now
+            t1 = interval["t1"] if interval else t_now
+            args = dict(cell.axes, seed=cell.seed, scenario=scenario.name,
+                        cached=result.cached)
+            if result.error is not None:
+                args["error"] = result.error
+            tracer.span("cell", cell.label, track=f"cell/{cell.index}",
+                        t0=t0, t1=t1, args=args,
+                        link=interval["id"] if interval else None)
     rows = cell_rows(matrix, results)
     meta = {
         "cells": len(results),

@@ -175,6 +175,12 @@ class Simulator:
         #: switches (blackhole accounting) and the auditor (injected-drop
         #: budgets).
         self.chaos = None
+        #: Optional :class:`repro.obs.trace.Tracer` bound at construction
+        #: (the ambient tracer or a worker capture buffer, if any): each
+        #: ``run()`` call then emits one sim-clock ``engine.run`` span.
+        #: Observation-only — the tracer never touches the heap or RNGs.
+        from repro.obs.trace import emit_target as _trace_target
+        self.obs_trace = _trace_target()
         hook = on_simulator_created
         if hook is not None:
             hook(self)
@@ -383,6 +389,23 @@ class Simulator:
         ``until`` is inclusive: events scheduled exactly at ``until`` run, and
         the clock is left at ``until`` if the simulation outlived it.
         """
+        tracer = self.obs_trace
+        if tracer is None:
+            return self._run(until, max_events)
+        import time as _time
+        t0_ps = self.now
+        wall0 = _time.monotonic()
+        processed = self._run(until, max_events)
+        tracer.span("sim", "engine.run", track="engine", clock="sim",
+                    t0=t0_ps, t1=self.now,
+                    args={"events": processed,
+                          "wall_us": round((_time.monotonic() - wall0) * 1e6,
+                                           3)})
+        return processed
+
+    def _run(self, until: Optional[int] = None,
+             max_events: Optional[int] = None) -> int:
+        """The untraced dispatch: calendar / profiled / inline heap loop."""
         if self._cal is not None:
             return self._run_calendar(until, max_events)
         if self.profiler is not None:

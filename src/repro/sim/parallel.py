@@ -61,6 +61,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import pickle
 import random
 import traceback
@@ -513,10 +514,11 @@ def _rng_report(sim: Simulator) -> Tuple[Dict[str, str], Dict[str, bool]]:
 
 
 def _shard_worker(conn, builder, kwargs, shard_id, n_shards, seed, sched,
-                  audit_on, metrics_on, collect, probe) -> None:
+                  audit_on, metrics_on, trace_on, collect, probe) -> None:
     try:
         _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed,
-                           sched, audit_on, metrics_on, collect, probe)
+                           sched, audit_on, metrics_on, trace_on, collect,
+                           probe)
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc()))
@@ -527,13 +529,26 @@ def _shard_worker(conn, builder, kwargs, shard_id, n_shards, seed, sched,
 
 
 def _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed, sched,
-                       audit_on, metrics_on, collect, probe) -> None:
+                       audit_on, metrics_on, trace_on, collect, probe) -> None:
     from repro import audit as audit_mod
     from repro import obs as obs_mod
+
+    # The worker ships its spans back on the collect reply; it must never
+    # lazily activate an ambient tracer of its own (which would race the
+    # parent for the REPRO_TRACE output file at exit).
+    os.environ.pop("REPRO_TRACE", None)
+    tracer = None
+    if trace_on:
+        from repro.obs import trace as trace_mod
+        # Explicit, non-ambient: the per-window ``sim.run`` calls below
+        # would otherwise each emit an ``engine.run`` span; the "window"
+        # spans carry that information with their counters instead.
+        tracer = trace_mod.Tracer(max_records=trace_mod.WORKER_MAX_RECORDS)
 
     audit_marker = audit_mod.begin_capture() if audit_on else None
     obs_marker = obs_mod.begin_capture() if metrics_on else None
 
+    build_t0 = tracer.now_us() if tracer is not None else 0.0
     sim = ShardSimulator(seed=seed, sched=sched)
     ctx = ShardContext(sim, shard_id)
     built = builder(sim, **(kwargs or {}))
@@ -546,12 +561,21 @@ def _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed, sched,
         auditor.defer_flow_checks = True
     lookahead = cut_lookahead_ps(ctx.net, ctx.owner)
     _apply_ownership(ctx)
+    if tracer is not None:
+        tracer.span("shard", "builder.replay", track="lane",
+                    t0=build_t0, t1=tracer.now_us(),
+                    args={"shard": shard_id, "nodes": len(ctx.owner),
+                          "lookahead_ps": lookahead})
     conn.send(("ready", lookahead, n_effective,
                _digest(sorted(ctx.owner.items())), sim.peek_time()))
+    idle_anchor = tracer.now_us() if tracer is not None else 0.0
 
     while True:
         msg = conn.recv()
         cmd = msg[0]
+        if tracer is not None:
+            busy_t0 = tracer.now_us()
+            idle_us = busy_t0 - idle_anchor
         if cmd == "run":
             _, window_end, incoming = msg
             for (link, arr, sched_t, src_shard, src_seq, data) in incoming:
@@ -559,23 +583,40 @@ def _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed, sched,
                 pkt = _decode_packet(ctx, data)
                 sim.inject(arr, (sched_t, 1, src_shard, src_seq),
                            port.peer.receive, pkt, port)
+            if tracer is not None:
+                events_before = sim.events_processed
             sim.run(until=window_end)
             out = ctx.outbox
             ctx.outbox = []
+            if tracer is not None:
+                tracer.span(
+                    "shard", "window", track="lane",
+                    t0=busy_t0, t1=tracer.now_us(),
+                    args={"shard": shard_id, "end_ps": window_end,
+                          "events": sim.events_processed - events_before,
+                          "shipped": len(out), "received": len(incoming),
+                          "idle_us": round(idle_us, 3)})
             conn.send(("sync", sim.peek_time(), out))
         elif cmd == "probe":
             value = probe(ctx, msg[1]) if probe is not None else None
+            if tracer is not None:
+                tracer.span("shard", "probe", track="lane",
+                            t0=busy_t0, t1=tracer.now_us(),
+                            args={"shard": shard_id, "t_ps": msg[1],
+                                  "idle_us": round(idle_us, 3)})
             conn.send(("probe", msg[1], value))
         elif cmd == "collect":
             conn.send(("result", _collect_result(
-                ctx, collect, audit_marker, obs_marker)))
+                ctx, collect, audit_marker, obs_marker, tracer)))
             return
         else:  # pragma: no cover - protocol guard
             raise RuntimeError(f"unknown coordinator command {cmd!r}")
+        if tracer is not None:
+            idle_anchor = tracer.now_us()
 
 
 def _collect_result(ctx: ShardContext, collect, audit_marker,
-                    obs_marker) -> dict:
+                    obs_marker, tracer=None) -> dict:
     from repro import audit as audit_mod
     from repro import obs as obs_mod
 
@@ -610,6 +651,9 @@ def _collect_result(ctx: ShardContext, collect, audit_marker,
     if obs_marker is not None:
         summary, _ = obs_mod.end_capture(obs_marker)
         result["metrics"] = summary
+    if tracer is not None:
+        result["trace"] = {"records": tracer.records, "epoch": tracer.epoch,
+                           "dropped": tracer.dropped}
     return result
 
 
@@ -684,6 +728,10 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
         raise ValueError("checkpoints must lie within the run horizon")
     audit_on = audit_mod.is_active() if audit is None else bool(audit)
     metrics_on = obs_mod.is_active() if metrics is None else bool(metrics)
+    from repro.obs import trace as trace_mod
+    tracer = trace_mod.emit_target()
+    trace_on = tracer is not None
+    merge_t0 = None
 
     mp = multiprocessing.get_context()
     conns, procs = [], []
@@ -693,7 +741,7 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
             proc = mp.Process(
                 target=_shard_worker,
                 args=(child_conn, builder, kwargs, shard_id, shards, seed,
-                      sched, audit_on, metrics_on, collect, probe),
+                      sched, audit_on, metrics_on, trace_on, collect, probe),
                 daemon=True)
             proc.start()
             child_conn.close()
@@ -715,10 +763,15 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
         windows = 0
 
         def do_probe(t: int) -> None:
+            probe_t0 = tracer.now_us() if tracer is not None else 0.0
             for conn in conns:
                 conn.send(("probe", t))
             probes[t] = [_recv(conn, procs[i], i)[2]
                          for i, conn in enumerate(conns)]
+            if tracer is not None:
+                tracer.span("shard", "probe", track="coordinator",
+                            t0=probe_t0, t1=tracer.now_us(),
+                            args={"t_ps": t, "shards": shards})
 
         while True:
             candidates = [t for t in next_times if t is not None]
@@ -737,6 +790,8 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
                 else min(window_start + lookahead - 1, until)
             if cp_idx < len(checkpoints) and checkpoints[cp_idx] <= window_end:
                 window_end = checkpoints[cp_idx]
+            grant_t0 = tracer.now_us() if tracer is not None else 0.0
+            routed = 0
             for i, conn in enumerate(conns):
                 conn.send(("run", window_end, pending[i]))
                 pending[i] = []
@@ -745,11 +800,19 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
                 next_times[i] = reply[1]
                 for message in reply[2]:
                     pending[message[0]].append(message[1:])
+                    routed += 1
+            if tracer is not None:
+                tracer.span("shard", "window.grant", track="coordinator",
+                            t0=grant_t0, t1=tracer.now_us(),
+                            args={"window": windows,
+                                  "start_ps": window_start,
+                                  "end_ps": window_end, "routed": routed})
             windows += 1
             if cp_idx < len(checkpoints) and checkpoints[cp_idx] == window_end:
                 do_probe(checkpoints[cp_idx])
                 cp_idx += 1
 
+        merge_t0 = tracer.now_us() if tracer is not None else None
         for conn in conns:
             conn.send(("collect",))
         results: List[Optional[dict]] = [None] * shards
@@ -783,6 +846,16 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
         run.metrics = obs_mod.merge_summaries(
             [r["metrics"] for r in results])
         obs_mod.record_summary(run.metrics)
+    if tracer is not None and merge_t0 is not None:
+        # Stitch each worker's spans in under shard-qualified tracks
+        # (``shard<i>/lane``), re-based onto this tracer's epoch, then
+        # close the parent-side merge span over collect + merges.
+        for r in results:
+            tracer.ingest_blob(r.get("trace"), prefix=f"shard{r['shard']}/")
+        tracer.span("shard", "merge", track="coordinator",
+                    t0=merge_t0, t1=tracer.now_us(),
+                    args={"shards": shards, "windows": windows,
+                          "events": run.events})
     return run
 
 

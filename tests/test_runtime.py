@@ -191,6 +191,29 @@ class TestResultCache:
         cache.put(key, list(range(1000)))
         assert cache.stats()["entries"] == 0
 
+    def test_torn_prune_counter_persists(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(TaskSpec(cube, {"x": 11}))
+        cache.put(key, "value")
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert not cache.get(key)[0]
+        assert cache.counters()["torn_pruned"] == 1
+        assert cache.stats()["torn_pruned"] == 1
+        # Torn prunes flush immediately: a fresh instance (another process,
+        # another day) still sees the count.
+        assert ResultCache(tmp_path).counters()["torn_pruned"] == 1
+
+    def test_eviction_scan_skip_counter(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=100)
+        for i in range(5):
+            cache.put(cache.key_for(TaskSpec(cube, {"x": i})), i)
+        # First put of the instance scans; the next four ride the
+        # amortization window and are counted as skipped.
+        assert cache.counters()["eviction_scans_skipped"] == 4
+        assert cache.stats()["eviction_scans_skipped"] == 4
+        # The sidecar never masquerades as a cache entry.
+        assert cache.stats()["entries"] == 5
+
     def test_clear_and_stats(self, tmp_path):
         cache = ResultCache(tmp_path)
         for i in range(4):
@@ -293,6 +316,35 @@ class TestScheduler:
                        and e["label"] == "flaky" and e["attempt"] == 2]
         assert len(ok_done) == 2 and len(retry_start) == 1
         assert max(ok_done) < retry_start[0]
+        # The backoff window itself is observable: a task_deferred event
+        # (with the wait and its due time) when the retry parks, and a
+        # task_resubmitted event when it re-enters the pool.
+        deferred = [e for e in events if e["event"] == "task_deferred"]
+        resubmitted = [e for e in events if e["event"] == "task_resubmitted"]
+        assert len(deferred) == 1 and deferred[0]["label"] == "flaky"
+        assert deferred[0]["backoff_s"] == pytest.approx(1.0)
+        assert deferred[0]["due_t"] > 0
+        assert len(resubmitted) == 1 and resubmitted[0]["attempt"] == 2
+        summary = events[-1]
+        assert summary["event"] == "sweep_done"
+        assert summary["deferred"] == 1 and summary["resubmitted"] == 1
+
+    def test_serial_backoff_emits_deferral_events(self, tmp_path):
+        # The serial path reports the same deferral lifecycle as the pool:
+        # parked (task_deferred) then re-run (task_resubmitted).
+        log = tmp_path / "events.jsonl"
+        marker = tmp_path / "marker"
+        with runtime.using(parallel=0, cache_enabled=False, retries=1,
+                           backoff_s=0.01, telemetry_path=log):
+            results = run_tasks([TaskSpec(flaky_once,
+                                          {"marker": str(marker)},
+                                          label="flaky")])
+        assert results[0].ok and results[0].attempts == 2
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("task_deferred") == 1
+        assert kinds.count("task_resubmitted") == 1
+        assert kinds.index("task_deferred") < kinds.index("task_resubmitted")
 
     def test_pool_failure_records_wall_time(self):
         with runtime.using(parallel=2, cache_enabled=False, retries=0):
