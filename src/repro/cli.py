@@ -42,6 +42,12 @@ from typing import Callable, Dict
 
 from repro.experiments import format_table
 from repro import runtime
+from repro.resilience import journal as run_journal
+from repro.resilience.signals import (
+    EXIT_INTERRUPTED,
+    graceful_shutdown,
+    shutdown_requested,
+)
 
 
 def _registry() -> Dict[str, Callable]:
@@ -115,7 +121,89 @@ def _parse_value(raw: str):
     return raw
 
 
+def _stored_argv(argv, journal_path: pathlib.Path) -> list:
+    """The argv a resume should replay: this invocation's, re-journaled.
+
+    Any ``--journal``/``--resume`` the user passed is stripped and replaced
+    by a single ``--journal <path>`` so the re-invocation appends to the
+    same journal regardless of which spelling (or the ``REPRO_JOURNAL``
+    environment variable) attached it originally.
+    """
+    raw = list(argv) if argv is not None else list(sys.argv[1:])
+    stored = []
+    skip = False
+    for token in raw:
+        if skip:
+            skip = False
+            continue
+        if token in ("--journal", "--resume"):
+            skip = True
+            continue
+        if token.startswith("--journal=") or token.startswith("--resume="):
+            continue
+        stored.append(token)
+    return stored + ["--journal", str(journal_path)]
+
+
+def _activate_journal(parser, args, argv):
+    """Resolve ``--journal``/``--resume``/``REPRO_JOURNAL`` into an active
+    run journal (or ``None``) and record this process generation's meta.
+    """
+    resume = getattr(args, "resume", None)
+    path = resume or getattr(args, "journal", None) \
+        or os.environ.get("REPRO_JOURNAL")
+    if not path:
+        return None
+    path = pathlib.Path(path)
+    if resume and not path.exists():
+        parser.error(f"--resume: journal {path} does not exist "
+                     f"(start one with --journal)")
+    generation = 0
+    if path.exists():
+        state = run_journal.load_journal(path)
+        if state.metas:
+            generation = state.generation + 1
+        if resume:
+            s = state.summary()
+            print(f"[repro.resilience] resuming {path}: "
+                  f"{s['done']} done, {s['failed']} failed, "
+                  f"{s['interrupted']} interrupted, "
+                  f"{len(state.unfinished())} unfinished",
+                  file=sys.stderr)
+    journal = run_journal.activate(path)
+    journal.meta(argv=_stored_argv(argv, path), command=args.command,
+                 name=getattr(args, "experiment", None)
+                 or getattr(args, "spec", "") or "",
+                 generation=generation)
+    return journal
+
+
+def _interrupted_exit(journal, signame: str, what: str) -> int:
+    """Shared drain epilogue: journal the shutdown, print the resume hint."""
+    if journal is not None:
+        journal.note("shutdown", signal=signame)
+        hint = f"resume with: repro resume {journal.path}"
+    else:
+        hint = "add --journal FILE to make runs resumable"
+    print(f"{what}: interrupted ({signame}); {hint}", file=sys.stderr)
+    return EXIT_INTERRUPTED
+
+
 def main(argv=None) -> int:
+    """CLI entry point.
+
+    Thin shell around :func:`_cli` that guarantees the run journal (if one
+    was activated) is flushed and detached on *every* exit path — including
+    parser errors and experiment exceptions — so a later in-process
+    invocation never inherits a stale journal.
+    """
+    try:
+        return _cli(argv)
+    finally:
+        run_journal.deactivate()
+
+
+def _cli(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce ExpressPass (SIGCOMM 2017) experiments.",
@@ -158,6 +246,18 @@ def main(argv=None) -> int:
                             "buffer occupancy, conservation, and path "
                             "symmetry in every simulation; exit 1 on any "
                             "violation")
+        p.add_argument("--journal", default=None, metavar="FILE",
+                       help="append a crash-safe run journal "
+                            "(repro.resilience/v1 JSONL) to FILE so an "
+                            "interrupted or killed campaign can be replayed "
+                            "with 'repro resume FILE' "
+                            "(default REPRO_JOURNAL)")
+        p.add_argument("--resume", default=None, metavar="FILE",
+                       help="like --journal but FILE must already exist: "
+                            "prints its task frontier, then re-runs the "
+                            "campaign (completed tasks replay from the "
+                            "result cache; the report is byte-identical "
+                            "to an uninterrupted run)")
 
     runp = sub.add_parser("run", help="run one experiment and print its table")
     _add_run_options(runp)
@@ -260,6 +360,23 @@ def main(argv=None) -> int:
                          help="export the merged obs summary as JSONL "
                               "(schema repro.obs.v1) to FILE; implies "
                               "--metrics")
+    matrixp.add_argument("--journal", default=None, metavar="FILE",
+                         help="append a crash-safe run journal "
+                              "(repro.resilience/v1 JSONL) to FILE; enables "
+                              "'repro resume FILE' (default REPRO_JOURNAL)")
+    matrixp.add_argument("--resume", default=None, metavar="FILE",
+                         help="like --journal but FILE must already exist: "
+                              "prints its task frontier, then re-runs the "
+                              "matrix (completed cells replay from the "
+                              "result cache)")
+    resumep = sub.add_parser(
+        "resume",
+        help="re-invoke an interrupted campaign from its run journal: "
+             "completed tasks replay from the result cache and the report "
+             "comes out byte-identical to an uninterrupted run")
+    resumep.add_argument("journal",
+                         help="journal file written via --journal or "
+                              "REPRO_JOURNAL")
     scenp = sub.add_parser(
         "scenarios",
         help="inspect the bundled scenario library or lint a spec file")
@@ -303,6 +420,32 @@ def main(argv=None) -> int:
                         help="write the scenario's fault plan as JSON to "
                              "FILE (usable via REPRO_CHAOS) and exit")
     args = parser.parse_args(argv)
+
+    if args.command == "resume":
+        try:
+            state = run_journal.load_journal(args.journal)
+        except (FileNotFoundError, OSError) as exc:
+            print(f"resume: {exc}", file=sys.stderr)
+            return 1
+        if not state.argv:
+            print(f"resume: {args.journal}: no meta record with an argv "
+                  f"(was the run started with --journal?)", file=sys.stderr)
+            return 1
+        if state.argv[0] == "resume":
+            # A journal can only store run/matrix-family argv; a stored
+            # "resume" would re-enter this branch forever.
+            print(f"resume: {args.journal}: stored argv is itself a resume; "
+                  f"refusing the recursion", file=sys.stderr)
+            return 1
+        s = state.summary()
+        torn = f", {s['torn_lines']} torn line(s)" if s["torn_lines"] else ""
+        print(f"[repro.resilience] {args.journal}: generation "
+              f"{state.generation}, {s['done']} done, {s['failed']} failed, "
+              f"{s['interrupted']} interrupted, "
+              f"{len(state.unfinished())} unfinished{torn}", file=sys.stderr)
+        print(f"[repro.resilience] re-invoking: repro "
+              f"{' '.join(state.argv)}", file=sys.stderr)
+        return main(state.argv)
 
     if args.command == "cache":
         config = runtime.get_config()
@@ -380,6 +523,10 @@ def main(argv=None) -> int:
                 print(f"{path}: OK ({spec.cell_count} cell(s))")
         return 1 if bad else 0
 
+    journal = None
+    if args.command in ("run", "profile", "obs", "matrix"):
+        journal = _activate_journal(parser, args, argv)
+
     if args.command == "matrix":
         from repro import scenarios as sc
         try:
@@ -435,6 +582,7 @@ def main(argv=None) -> int:
         audit_verdict = None
         metrics_summary = None
         with contextlib.ExitStack() as stack:
+            stack.enter_context(graceful_shutdown())
             cap = ocap = None
             if args.audit:
                 from repro import audit
@@ -463,16 +611,25 @@ def main(argv=None) -> int:
             n = obs_trace.write_files(tracer, trace_path)
             print(f"wrote {n} trace record(s) to {trace_path} "
                   f"(+ {trace_path}.perfetto.json)", file=sys.stderr)
+        signame = shutdown_requested()
+        if signame:
+            # Drained: telemetry/trace/journal are flushed, but a partial
+            # report would be misleading — skip it and point at resume.
+            return _interrupted_exit(journal, signame, "matrix")
         report = outcome.report
         # Reports go to explicit file handles, never stdout: the JSONL/CSV
         # streams must stay clean of anything the surrounding environment
-        # (activation hooks, warnings) may print.
+        # (activation hooks, warnings) may print.  Journaled runs write
+        # *stable* reports (no cached/wall_s) so a resume's export is
+        # byte-identical to the uninterrupted baseline's.
+        stable = journal is not None
         if args.report_jsonl:
-            n = sc.write_report_jsonl(args.report_jsonl, report)
+            n = sc.write_report_jsonl(args.report_jsonl, report,
+                                      stable=stable)
             print(f"wrote {n} report record(s) to {args.report_jsonl}",
                   file=sys.stderr)
         if args.report_csv:
-            n = sc.write_report_csv(args.report_csv, report)
+            n = sc.write_report_csv(args.report_csv, report, stable=stable)
             print(f"wrote {n} CSV row(s) to {args.report_csv}",
                   file=sys.stderr)
         if args.obs_jsonl and metrics_summary is not None:
@@ -631,6 +788,7 @@ def main(argv=None) -> int:
     profile_report = None
     metrics_summary = None
     with contextlib.ExitStack() as stack:
+        stack.enter_context(graceful_shutdown())
         cap = prof_session = ocap = None
         if args.audit:
             from repro import audit
@@ -649,7 +807,14 @@ def main(argv=None) -> int:
         stack.enter_context(runtime.using(**config_overrides))
         if args.audit:
             cap = stack.enter_context(audit.capture())
-        result = fn(**overrides)
+        try:
+            result = fn(**overrides)
+        except runtime.SweepError:
+            # Every task in the sweep was cut short by the drain; there is
+            # no result, but that is an interruption, not a failure.
+            if not shutdown_requested():
+                raise
+            result = None
     if args.audit:
         audit_verdict = audit.merge_summaries(
             [cap.summary, audit.session_summary()])
@@ -681,6 +846,12 @@ def main(argv=None) -> int:
         n = obs_trace.write_files(tracer, trace_path)
         print(f"wrote {n} trace record(s) to {trace_path} "
               f"(+ {trace_path}.perfetto.json)", file=sys.stderr)
+    signame = shutdown_requested()
+    if signame or result is None:
+        # A drained run may still hold partial rows; printing them would
+        # look like a (wrong) result, so skip straight to the resume hint.
+        return _interrupted_exit(journal, signame or "SIGINT",
+                                 args.experiment)
     if args.json:
         print(json.dumps({"name": result.name, "rows": result.rows,
                           "meta": result.meta}, indent=2, default=str))

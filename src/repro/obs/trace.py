@@ -53,7 +53,9 @@ import atexit
 import contextlib
 import json
 import os
+import pathlib
 import time
+import warnings
 from typing import Any, Dict, List, Optional
 
 #: Schema tag written to (and checked in) every JSONL export.
@@ -379,6 +381,12 @@ class TaskRecorder:
                attempts: int) -> None:
         self._finish(index, label, "failed", error=error)
 
+    def interrupted(self, index: int, label: str,
+                    signame: str = "SIGINT") -> None:
+        """A task cut short by a graceful-shutdown drain."""
+        self._finish(index, label, "interrupted",
+                     error=f"interrupted ({signame})")
+
     def _finish(self, index: int, label: str, outcome: str,
                 error: Optional[str] = None) -> None:
         tracer = self.tracer
@@ -448,90 +456,124 @@ def write_jsonl(path, source, dropped: Optional[int] = None) -> int:
     return len(records) + 1
 
 
+def _torn_tail(path, lineno: int, nonblank: int, line: str) -> bool:
+    """True when ``lineno`` is the file's final non-blank line (a crash
+    mid-write tears at most the last line; warn and skip it instead of
+    refusing the whole trace)."""
+    if lineno != nonblank:
+        return False
+    warnings.warn(f"{path}:{lineno}: skipping torn final line "
+                  f"({line[:40]!r}...)", stacklevel=3)
+    return True
+
+
 def load_jsonl(path) -> dict:
-    """Load a trace file: ``{"meta": {...}, "records": [...]}``."""
+    """Load a trace file: ``{"meta": {...}, "records": [...], "torn": n}``.
+
+    A non-JSON *final* line (process killed mid-write) is skipped with a
+    warning and counted in ``torn``; garbage anywhere else still raises.
+    """
     meta = None
     records: List[dict] = []
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
+    torn = 0
+    all_lines = pathlib.Path(path).read_text().splitlines()
+    nonblank = max((i for i, l in enumerate(all_lines, 1) if l.strip()),
+                   default=0)
+    for lineno, line in enumerate(all_lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
             rec = json.loads(line)
-            if rec.get("record") == "meta":
-                meta = rec
-            else:
-                records.append(rec)
-    return {"meta": meta or {}, "records": records}
+        except ValueError:
+            if _torn_tail(path, lineno, nonblank, line):
+                torn += 1
+                break
+            raise
+        if rec.get("record") == "meta":
+            meta = rec
+        else:
+            records.append(rec)
+    return {"meta": meta or {}, "records": records, "torn": torn}
 
 
 def validate_jsonl(path) -> dict:
     """Schema-check a trace file; raises ``ValueError`` on any violation.
 
-    Returns ``{"lines": n, "records": {kind: count}}``.
+    Returns ``{"lines": n, "records": {kind: count}, "torn": n}``.  The
+    one tolerated deviation is a torn *final* line — the signature of a
+    crash mid-write, which the resilience plane must be able to read past
+    (warn + skip), not a schema violation.
     """
     counts: Dict[str, int] = {}
     lines = 0
+    torn = 0
     seen_ids = set()
     last_key = None
-    with open(path) as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
-            lines += 1
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
-            kind = rec.get("record")
-            if kind not in _RECORD_KINDS:
-                raise ValueError(f"{path}:{lineno}: unknown record {kind!r}")
-            counts[kind] = counts.get(kind, 0) + 1
-            if lineno == 1:
-                if kind != "meta" or rec.get("schema") != SCHEMA:
-                    raise ValueError(
-                        f"{path}:1: missing meta/schema header ({SCHEMA})")
-                continue
-            if kind == "meta":
-                raise ValueError(f"{path}:{lineno}: duplicate meta record")
-            if rec.get("layer") not in LAYERS:
+    all_lines = pathlib.Path(path).read_text().splitlines()
+    nonblank = max((i for i, l in enumerate(all_lines, 1) if l.strip()),
+                   default=0)
+    for lineno, line in enumerate(all_lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        lines += 1
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if _torn_tail(path, lineno, nonblank, line):
+                torn += 1
+                lines -= 1
+                break
+            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        kind = rec.get("record")
+        if kind not in _RECORD_KINDS:
+            raise ValueError(f"{path}:{lineno}: unknown record {kind!r}")
+        counts[kind] = counts.get(kind, 0) + 1
+        if lineno == 1:
+            if kind != "meta" or rec.get("schema") != SCHEMA:
                 raise ValueError(
-                    f"{path}:{lineno}: unknown layer {rec.get('layer')!r}")
-            if rec.get("clock") not in CLOCKS:
+                    f"{path}:1: missing meta/schema header ({SCHEMA})")
+            continue
+        if kind == "meta":
+            raise ValueError(f"{path}:{lineno}: duplicate meta record")
+        if rec.get("layer") not in LAYERS:
+            raise ValueError(
+                f"{path}:{lineno}: unknown layer {rec.get('layer')!r}")
+        if rec.get("clock") not in CLOCKS:
+            raise ValueError(
+                f"{path}:{lineno}: unknown clock {rec.get('clock')!r}")
+        if not isinstance(rec.get("track"), str) \
+                or not isinstance(rec.get("name"), str):
+            raise ValueError(f"{path}:{lineno}: needs track and name")
+        if kind == "span":
+            t0, t1 = rec.get("t0"), rec.get("t1")
+            if not isinstance(t0, (int, float)) \
+                    or not isinstance(t1, (int, float)) or t1 < t0:
                 raise ValueError(
-                    f"{path}:{lineno}: unknown clock {rec.get('clock')!r}")
-            if not isinstance(rec.get("track"), str) \
-                    or not isinstance(rec.get("name"), str):
-                raise ValueError(f"{path}:{lineno}: needs track and name")
-            if kind == "span":
-                t0, t1 = rec.get("t0"), rec.get("t1")
-                if not isinstance(t0, (int, float)) \
-                        or not isinstance(t1, (int, float)) or t1 < t0:
-                    raise ValueError(
-                        f"{path}:{lineno}: span needs t1 >= t0")
-                if rec["clock"] == "sim" and not (
-                        isinstance(t0, int) and isinstance(t1, int)):
-                    raise ValueError(
-                        f"{path}:{lineno}: sim-clock times must be "
-                        f"integer picoseconds")
-            else:
-                if not isinstance(rec.get("t"), (int, float)):
-                    raise ValueError(f"{path}:{lineno}: event needs t")
-            rid = rec.get("id")
-            if not isinstance(rid, str) or rid in seen_ids:
+                    f"{path}:{lineno}: span needs t1 >= t0")
+            if rec["clock"] == "sim" and not (
+                    isinstance(t0, int) and isinstance(t1, int)):
                 raise ValueError(
-                    f"{path}:{lineno}: missing or duplicate id {rid!r}")
-            seen_ids.add(rid)
-            key = (rec["layer"], rec["track"], rec.get("seq", 0))
-            if last_key is not None and key < last_key:
-                raise ValueError(
-                    f"{path}:{lineno}: records not in canonical "
-                    f"(layer, track, seq) order")
-            last_key = key
+                    f"{path}:{lineno}: sim-clock times must be "
+                    f"integer picoseconds")
+        else:
+            if not isinstance(rec.get("t"), (int, float)):
+                raise ValueError(f"{path}:{lineno}: event needs t")
+        rid = rec.get("id")
+        if not isinstance(rid, str) or rid in seen_ids:
+            raise ValueError(
+                f"{path}:{lineno}: missing or duplicate id {rid!r}")
+        seen_ids.add(rid)
+        key = (rec["layer"], rec["track"], rec.get("seq", 0))
+        if last_key is not None and key < last_key:
+            raise ValueError(
+                f"{path}:{lineno}: records not in canonical "
+                f"(layer, track, seq) order")
+        last_key = key
     if counts.get("meta", 0) != 1:
         raise ValueError(f"{path}: expected exactly one meta record")
-    return {"lines": lines, "records": counts}
+    return {"lines": lines, "records": counts, "torn": torn}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,222 @@
+"""Run journal: an append-only JSONL manifest of campaign task states.
+
+Schema ``repro.resilience/v1``.  Two record kinds share the file:
+
+* ``{"record": "meta", ...}`` — one per process generation: the schema
+  tag, the sanitized argv needed to re-invoke the run, the campaign name
+  and task total, and a ``generation`` counter (0 for the original run,
+  incremented by every resume).
+* ``{"record": "task", "index": i, "state": s, ...}`` — one per task
+  state change: ``queued`` (carries the result-cache ``key`` when caching
+  is on), ``running``, ``done`` (``cached``/``wall_s``), ``failed``
+  (``error``), or ``interrupted``.
+
+The writer appends one line per record and flushes after each write, so a
+SIGKILLed process loses at most the final line — and that line may be torn
+(partial).  :func:`load_journal` therefore parses defensively: a non-JSON
+*final* line is counted and skipped, never fatal.  Folding the records by
+index (last state wins) reconstructs the campaign's frontier: which tasks
+finished (and under which cache keys), which were in flight, and which
+never started.
+
+Resume is deliberately thin: ``repro resume <journal>`` re-invokes the
+recorded argv with the journal re-attached.  Completed tasks replay from
+the result cache (their keys are in the journal; a missing cache entry
+simply re-executes, and determinism keeps the report byte-identical), so
+the journal never stores result payloads — it is a manifest, not a second
+cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+import warnings
+from typing import Any, Dict, List, Optional, Sequence
+
+JOURNAL_SCHEMA = "repro.resilience/v1"
+
+#: Task states a journal records (mirrors scheduler/telemetry vocabulary).
+TASK_STATES = ("queued", "running", "done", "failed", "interrupted")
+
+
+class RunJournal:
+    """Append-only writer for one campaign's journal file.
+
+    Thread-safe (the pool dispatcher and signal handlers share it); every
+    record is one line, flushed immediately so the OS page cache — which
+    survives process death — holds it even if the process is SIGKILLed a
+    microsecond later.
+    """
+
+    def __init__(self, path: pathlib.Path):
+        self.path = pathlib.Path(path)
+        self._lock = threading.Lock()
+        self._fh = None
+
+    # -- writing ------------------------------------------------------------
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        record.setdefault("t", round(time.time(), 6))
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            try:
+                if self._fh is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._fh = self.path.open("a")
+                self._fh.write(line + "\n")
+                self._fh.flush()
+            except OSError:
+                # The journal is a safety net, never a failure mode: a full
+                # or read-only disk must not kill the campaign it protects.
+                pass
+
+    def meta(self, argv: Sequence[str], command: str = "",
+             name: str = "", total: int = 0,
+             generation: int = 0) -> None:
+        """Record a process generation (original run or a resume)."""
+        self._write({"record": "meta", "schema": JOURNAL_SCHEMA,
+                     "argv": list(argv), "command": command, "name": name,
+                     "total": total, "generation": generation,
+                     "pid": os.getpid()})
+
+    def task(self, index: int, state: str, label: str = "",
+             **fields: Any) -> None:
+        """Record one task state change (``queued``/``done``/...)."""
+        record = {"record": "task", "index": index, "state": state}
+        if label:
+            record["label"] = label
+        record.update(fields)
+        self._write(record)
+
+    def note(self, kind: str, **fields: Any) -> None:
+        """Free-form annotation record (e.g. the matrix scenario name)."""
+        self._write({"record": kind, **fields})
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+                self._fh = None
+
+
+class JournalState:
+    """A journal file folded into its latest-state-per-task view."""
+
+    def __init__(self, path: pathlib.Path):
+        self.path = pathlib.Path(path)
+        self.metas: List[dict] = []
+        self.tasks: Dict[int, dict] = {}
+        self.notes: List[dict] = []
+        self.torn_lines = 0
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def meta(self) -> Optional[dict]:
+        """The most recent generation's meta record."""
+        return self.metas[-1] if self.metas else None
+
+    @property
+    def generation(self) -> int:
+        return int(self.meta.get("generation", 0)) if self.meta else 0
+
+    @property
+    def argv(self) -> List[str]:
+        return list(self.meta.get("argv", [])) if self.meta else []
+
+    @property
+    def total(self) -> int:
+        return int(self.meta.get("total", 0)) if self.meta else 0
+
+    def by_state(self, state: str) -> List[int]:
+        return sorted(i for i, rec in self.tasks.items()
+                      if rec.get("state") == state)
+
+    def unfinished(self) -> List[int]:
+        """Indices whose last recorded state is not ``done``/``failed``."""
+        return sorted(i for i, rec in self.tasks.items()
+                      if rec.get("state") not in ("done", "failed"))
+
+    def summary(self) -> dict:
+        counts = {state: 0 for state in TASK_STATES}
+        for rec in self.tasks.values():
+            state = rec.get("state")
+            if state in counts:
+                counts[state] += 1
+        return {"path": str(self.path), "generation": self.generation,
+                "total": self.total, "torn_lines": self.torn_lines,
+                **counts}
+
+
+def load_journal(path: pathlib.Path) -> JournalState:
+    """Parse a journal, tolerating a torn final line (crash mid-write).
+
+    Any unparsable line is skipped with a warning; only well-formed
+    records fold into the state.  (A crash can tear at most the final
+    line, but replayed/concatenated journals may carry earlier tears —
+    skipping is always the right recovery, so no line is fatal.)
+    """
+    state = JournalState(path)
+    try:
+        text = pathlib.Path(path).read_text()
+    except OSError as exc:
+        raise FileNotFoundError(f"cannot read journal {path}: {exc}")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            state.torn_lines += 1
+            warnings.warn(f"{path}:{lineno}: skipping torn journal line "
+                          f"({line[:40]!r}...)", stacklevel=2)
+            continue
+        if not isinstance(record, dict):
+            state.torn_lines += 1
+            continue
+        kind = record.get("record")
+        if kind == "meta":
+            state.metas.append(record)
+        elif kind == "task":
+            index = record.get("index")
+            if isinstance(index, int):
+                state.tasks[index] = record
+        else:
+            state.notes.append(record)
+    return state
+
+
+# -- ambient journal (mirrors repro.obs.trace's activation idiom) -----------
+
+_ACTIVE: Optional[RunJournal] = None
+
+
+def activate(path: pathlib.Path) -> RunJournal:
+    """Install ``path`` as the process-wide journal and return the writer."""
+    global _ACTIVE
+    deactivate()
+    _ACTIVE = RunJournal(path)
+    return _ACTIVE
+
+
+def current() -> Optional[RunJournal]:
+    """The active journal, or ``None`` (the scheduler's one-line check)."""
+    return _ACTIVE
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    _ACTIVE = None
+
+
+__all__ = ["JOURNAL_SCHEMA", "TASK_STATES", "RunJournal", "JournalState",
+           "load_journal", "activate", "current", "deactivate"]

@@ -1,0 +1,146 @@
+"""Self-chaos: fault injection aimed at the execution substrate itself.
+
+``repro.chaos`` breaks the *simulated* fabric; this module breaks the
+*simulator's own machinery* — killed workers, torn cache blobs, full
+disks, hung shards — so tests (and the CI ``resilience-smoke`` job) can
+assert that journaling, failover, and cache hygiene actually recover.
+
+Directives come from ``REPRO_SELFCHAOS``, comma-separated:
+
+============================  =============================================
+``task:kill=<substr>``        a pool worker SIGKILLs itself when it starts
+                              a task whose label contains ``<substr>``
+``parent:kill=<n>``           the scheduler's own process SIGKILLs itself
+                              once ``<n>`` tasks have completed
+``parent:int=<n>``            the scheduler's own process sends itself
+                              SIGINT once ``<n>`` tasks have completed
+                              (deterministic Ctrl-C: exercises the
+                              graceful drain without racing a timer)
+``cache:torn``                the next cache put writes a truncated blob
+``cache:enospc``              the next cache put fails with ENOSPC
+``shard:kill=<w>``            a shard worker SIGKILLs itself on entering
+                              conservative window ``<w>`` (1-based)
+``shard:hang=<w>``            a shard worker stops replying (and
+                              heartbeating) at window ``<w>``
+============================  =============================================
+
+Every directive fires **once per run**, claimed through an ``O_EXCL``
+marker file so exactly one process wins even when the directive is
+eligible in several workers at once.  Markers live in
+``REPRO_SELFCHAOS_DIR`` when set (tests point it at a tmpdir), else in a
+tempdir keyed by the directive string.  Production code calls
+:func:`fire` at the injection points; with ``REPRO_SELFCHAOS`` unset the
+cost is one env lookup.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import re
+import signal
+import tempfile
+import time
+from typing import List, Optional, Tuple
+
+ENV_VAR = "REPRO_SELFCHAOS"
+ENV_DIR = "REPRO_SELFCHAOS_DIR"
+
+#: Injection points production code may fire.
+POINTS = ("task:kill", "parent:kill", "parent:int", "cache:torn",
+          "cache:enospc", "shard:kill", "shard:hang")
+
+
+def armed() -> bool:
+    return bool(os.environ.get(ENV_VAR))
+
+
+def _directives() -> List[Tuple[str, Optional[str]]]:
+    out = []
+    for raw in os.environ.get(ENV_VAR, "").split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        point, _, arg = raw.partition("=")
+        out.append((point, arg or None))
+    return out
+
+
+def _marker_dir() -> str:
+    explicit = os.environ.get(ENV_DIR)
+    if explicit:
+        return explicit
+    tag = hashlib.sha1(os.environ.get(ENV_VAR, "").encode()).hexdigest()[:10]
+    return os.path.join(tempfile.gettempdir(), f"repro-selfchaos-{tag}")
+
+
+def _claim(directive: str) -> bool:
+    """Claim a directive's once-only marker; True if this caller won."""
+    path = os.path.join(_marker_dir(),
+                        re.sub(r"[^A-Za-z0-9_.=-]", "_", directive))
+    try:
+        os.makedirs(_marker_dir(), exist_ok=True)
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    except OSError:
+        return False
+    with os.fdopen(fd, "w") as fh:
+        fh.write(f"pid={os.getpid()} t={time.time():.3f}\n")
+    return True
+
+
+def _matches(point: str, arg: Optional[str], *, label: Optional[str],
+             count: Optional[int], window: Optional[int]) -> bool:
+    if point in ("cache:torn", "cache:enospc"):
+        return True
+    if point == "task:kill":
+        return label is not None and (arg or "") in label
+    if point in ("parent:kill", "parent:int"):
+        return count is not None and arg is not None and count >= int(arg)
+    if point in ("shard:kill", "shard:hang"):
+        return window is not None and arg is not None and window == int(arg)
+    return False
+
+
+def fire(point: str, *, label: Optional[str] = None,
+         count: Optional[int] = None,
+         window: Optional[int] = None) -> bool:
+    """True when an armed directive for ``point`` matches and was claimed."""
+    if not armed():
+        return False
+    for d_point, arg in _directives():
+        if d_point != point:
+            continue
+        try:
+            matched = _matches(point, arg, label=label, count=count,
+                               window=window)
+        except ValueError:
+            continue  # malformed numeric arg: ignore the directive
+        if matched and _claim(f"{d_point}={arg}" if arg else d_point):
+            return True
+    return False
+
+
+def kill_self() -> None:
+    """SIGKILL the current process (no cleanup, no flush — that's the point)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def interrupt_self() -> None:
+    """SIGINT the current process — a deterministic Ctrl-C.
+
+    Unlike :func:`kill_self` this is *meant* to be survived: the graceful
+    shutdown handler catches it, drains in-flight work, and exits with the
+    interrupted status so ``repro resume`` can pick the campaign back up.
+    """
+    os.kill(os.getpid(), signal.SIGINT)
+
+
+def enospc() -> OSError:
+    return OSError(errno.ENOSPC, "injected ENOSPC (REPRO_SELFCHAOS)")
+
+
+__all__ = ["ENV_VAR", "ENV_DIR", "POINTS", "armed", "fire", "kill_self",
+           "interrupt_self", "enospc"]

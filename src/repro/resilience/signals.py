@@ -1,0 +1,95 @@
+"""Graceful shutdown: turn SIGINT/SIGTERM into a drain, not a traceback.
+
+:func:`graceful_shutdown` installs handlers that set a flag the scheduler
+polls between tasks (serial) and between wait rounds (pool).  On the first
+signal the campaign *drains*: running tasks get a grace period to finish
+and bank their results (and cache entries — work already done should
+survive), everything not yet started is marked ``interrupted`` in results,
+telemetry, trace, and journal.  A second signal restores the default
+handler, so an impatient third Ctrl-C kills the process the classic way.
+
+Processes that drained exit with :data:`EXIT_INTERRUPTED` (75,
+``EX_TEMPFAIL`` — "try again later", which a resume literally is) so
+wrappers and CI can tell "interrupted, resumable" from "failed".
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator, Optional
+
+#: Exit code for a drained interruption (os.EX_TEMPFAIL: retry later).
+EXIT_INTERRUPTED = 75
+
+#: Grace given to in-flight pool tasks after the first signal before they
+#: are abandoned and marked interrupted.
+DRAIN_GRACE_S = 10.0
+
+_requested: Optional[str] = None
+
+
+def shutdown_requested() -> Optional[str]:
+    """The signal name that requested shutdown, or ``None``."""
+    return _requested
+
+
+def request(signame: str = "SIGINT") -> None:
+    """Mark shutdown as requested (handlers and tests both land here)."""
+    global _requested
+    _requested = signame
+
+
+def reset() -> None:
+    global _requested
+    _requested = None
+
+
+@contextlib.contextmanager
+def graceful_shutdown() -> Iterator[None]:
+    """Install SIGINT/SIGTERM drain handlers for the enclosed block.
+
+    Only the main thread may set signal handlers; elsewhere (or when a
+    handler is already non-default, e.g. under a test harness) this is a
+    no-op context so library callers can use it unconditionally.
+    """
+    reset()
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    sigs = (signal.SIGINT, signal.SIGTERM)
+    prior = {}
+
+    def _handler(signum, frame):
+        if _requested is not None:
+            # Second signal: the user means it.  Restore the default
+            # disposition so the *next* one terminates immediately, and
+            # raise KeyboardInterrupt now to break out of any wait.
+            for s in sigs:
+                try:
+                    signal.signal(s, prior.get(s, signal.SIG_DFL))
+                except (OSError, ValueError):
+                    pass
+            raise KeyboardInterrupt
+        request(signal.Signals(signum).name)
+
+    try:
+        for s in sigs:
+            prior[s] = signal.signal(s, _handler)
+    except (OSError, ValueError):
+        # Embedded interpreter / exotic platform: run unprotected.
+        yield
+        return
+    try:
+        yield
+    finally:
+        for s in sigs:
+            try:
+                signal.signal(s, prior[s])
+            except (OSError, ValueError):
+                pass
+
+
+__all__ = ["EXIT_INTERRUPTED", "DRAIN_GRACE_S", "graceful_shutdown",
+           "shutdown_requested", "request", "reset"]

@@ -31,7 +31,7 @@ from repro.runtime.config import (
 )
 from repro.runtime.scheduler import SweepError, TaskResult, run_tasks
 from repro.runtime.task import SweepPlan, TaskSpec, stable_repr, task_id
-from repro.runtime.telemetry import Telemetry
+from repro.runtime.telemetry import Telemetry, read_events
 
 __all__ = [
     "ResultCache",
@@ -45,6 +45,7 @@ __all__ = [
     "configure",
     "default_cache_dir",
     "get_config",
+    "read_events",
     "reset",
     "run_tasks",
     "stable_repr",

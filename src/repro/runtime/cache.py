@@ -18,6 +18,7 @@ trips first) removes oldest-touched entries.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import hashlib
 import json
@@ -25,8 +26,10 @@ import os
 import pathlib
 import pickle
 import tempfile
-from typing import Any, Callable, Optional, Tuple
+import time
+from typing import Any, Callable, Iterator, Optional, Tuple
 
+from repro.resilience import selfchaos
 from repro.runtime.task import TaskSpec
 
 _SENTINEL = object()
@@ -84,7 +87,12 @@ class ResultCache:
 
     #: Hygiene counters persisted (best-effort) in ``counters.json`` next to
     #: the entries, so ``repro cache stats`` sees events from past processes.
-    _COUNTER_KEYS = ("torn_pruned", "eviction_scans_skipped")
+    _COUNTER_KEYS = ("torn_pruned", "eviction_scans_skipped",
+                     "eviction_lock_busy")
+
+    #: An eviction lock older than this is presumed orphaned (its holder
+    #: crashed between O_EXCL and unlink) and taken over.
+    _LOCK_STALE_S = 120.0
 
     def __init__(
         self,
@@ -145,9 +153,15 @@ class ResultCache:
             blob = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             return False
+        if selfchaos.armed() and selfchaos.fire("cache:torn"):
+            # Crash-mid-write simulation: a torn blob still lands on disk
+            # (atomically, ironically) so get() must prune it as corrupt.
+            blob = blob[:max(1, len(blob) // 3)]
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
+                if selfchaos.armed() and selfchaos.fire("cache:enospc"):
+                    raise selfchaos.enospc()
                 fh.write(blob)
             os.replace(tmp, self._path(key))
         except OSError:
@@ -213,6 +227,50 @@ class ResultCache:
             totals[key] += self._unflushed[key]
         return totals
 
+    # -- cross-process eviction lock -----------------------------------------
+
+    def _lock_path(self) -> pathlib.Path:
+        return self.directory / "evict.lock"
+
+    @contextlib.contextmanager
+    def _eviction_lock(self) -> Iterator[bool]:
+        """Best-effort cross-process mutex around destructive scans.
+
+        Two simultaneous matrix runs sharing a cache directory must not
+        race LRU eviction: run A's scan could delete the entry run B just
+        wrote (B re-touched it *after* A statted).  An ``O_EXCL`` lockfile
+        serialises the scans; a lock whose mtime is older than
+        ``_LOCK_STALE_S`` is a crashed holder's orphan and is broken.
+        Yields False (caller skips the scan) when the lock is genuinely
+        held — eviction is amortized hygiene, deferring it is always safe.
+        """
+        path = self._lock_path()
+        acquired = False
+        for attempt in range(2):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(f"pid={os.getpid()}\n")
+                acquired = True
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    continue  # holder just released: retry once
+                if age <= self._LOCK_STALE_S:
+                    break
+                with contextlib.suppress(OSError):
+                    path.unlink()  # stale takeover, then retry the O_EXCL
+            except OSError:
+                break  # unwritable dir: proceed unlocked-skip
+        try:
+            yield acquired
+        finally:
+            if acquired:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+
     # -- hygiene ------------------------------------------------------------
 
     def _entries(self):
@@ -228,20 +286,29 @@ class ResultCache:
         return out
 
     def evict(self) -> int:
-        """Drop least-recently-used entries past the size/count caps."""
-        entries = sorted(self._entries(), key=lambda e: e[1])  # oldest first
-        total = sum(size for _, _, size in entries)
-        removed = 0
-        while entries and (len(entries) > self.max_entries
-                           or total > self.max_bytes):
-            path, _, size = entries.pop(0)
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            total -= size
-            removed += 1
-        return removed
+        """Drop least-recently-used entries past the size/count caps.
+
+        Holds the cross-process eviction lock; when another run's scan is
+        in progress the call is skipped (``eviction_lock_busy`` counter) —
+        the concurrent scan is already enforcing the caps.
+        """
+        with self._eviction_lock() as acquired:
+            if not acquired:
+                self._bump("eviction_lock_busy")
+                return 0
+            entries = sorted(self._entries(), key=lambda e: e[1])  # oldest 1st
+            total = sum(size for _, _, size in entries)
+            removed = 0
+            while entries and (len(entries) > self.max_entries
+                               or total > self.max_bytes):
+                path, _, size = entries.pop(0)
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+            return removed
 
     def stats(self) -> dict:
         entries = self._entries()
@@ -255,7 +322,13 @@ class ResultCache:
         }
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were deleted."""
+        """Remove every entry; returns how many were deleted.
+
+        Unlike :meth:`evict`, clearing proceeds even when the eviction
+        lock is busy — an explicit ``repro cache clear`` outranks a
+        background scan, and deleting under a concurrent scanner is safe
+        (it tolerates vanished paths).
+        """
         removed = 0
         for path, _, _ in self._entries():
             try:

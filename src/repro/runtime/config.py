@@ -37,6 +37,33 @@ Environment variables (all optional) seed the defaults:
                             plus Perfetto-loadable ``<path>.perfetto.json``.
                             Observation-only — never part of fingerprints
 ==========================  =====================================================
+
+The resilience plane (:mod:`repro.resilience`, DESIGN.md §15) reads its own
+variables rather than travelling through :class:`RuntimeConfig` — they
+describe crash-safety machinery, not sweep policy, and several must reach
+code that runs before or without a config:
+
+==========================  =====================================================
+``REPRO_JOURNAL``           path for the crash-safe run journal
+                            (``repro.resilience/v1`` JSONL); same effect as
+                            ``--journal``, enables ``repro resume``
+``REPRO_SELFCHAOS``         comma-separated fault directives aimed at the
+                            execution substrate itself (``task:kill=SUBSTR``,
+                            ``parent:kill=N``, ``parent:int=N``,
+                            ``cache:torn``, ``cache:enospc``,
+                            ``shard:kill=W``, ``shard:hang=W``); each fires
+                            once per campaign
+``REPRO_SELFCHAOS_DIR``     marker directory enforcing the once-only firing
+                            across processes (default: a tempdir keyed by
+                            the directive string)
+``REPRO_SHARD_HEARTBEAT``   sharded-run worker heartbeat interval in seconds
+                            (default 1.0)
+``REPRO_SHARD_DEADLINE``    heartbeat silence after which a shard counts as
+                            hung and is failed over (default 60)
+``REPRO_RECYCLE_AFTER``     abandoned (timed-out but uncancellable) workers
+                            tolerated before the pool is torn down and
+                            rebuilt to reclaim capacity (default 2)
+==========================  =====================================================
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import concurrent.futures as futures
 import contextlib
+import multiprocessing
 import os
 import pickle
 import time
@@ -32,10 +33,39 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.resilience import journal as run_journal
+from repro.resilience import selfchaos
+from repro.resilience import signals as shutdown
 from repro.runtime.cache import ResultCache
 from repro.runtime.config import RuntimeConfig, get_config
 from repro.runtime.task import SweepPlan, TaskSpec
 from repro.runtime.telemetry import Telemetry
+
+#: True inside pool worker processes (set by :func:`_worker_init`); gates
+#: self-chaos injection points that must only ever kill a *worker*.
+_IN_POOL_WORKER = False
+
+#: Worker-side handle on the started-marker queue (set by
+#: :func:`_worker_init`).  Workers drop a ``(index, attempt)`` token the
+#: moment they begin a task so the parent's timeout watchdog can tell a
+#: genuinely long-running task from one merely stuck in the executor's
+#: queue behind hung workers — ``Future.cancel()`` cannot make that
+#: distinction (the executor marks prefetched items RUNNING before any
+#: worker touches them).
+_STARTED_Q = None
+
+
+#: How many times a queued-but-never-started task may be timeout-cancelled
+#: and requeued with a fresh clock before the timeout is charged to it.
+_QUEUE_LAPS = 3
+
+
+def _recycle_after() -> int:
+    """Abandoned-worker threshold that triggers a pool recycle."""
+    try:
+        return max(1, int(os.environ.get("REPRO_RECYCLE_AFTER", "2")))
+    except ValueError:
+        return 2
 
 
 @dataclass
@@ -49,6 +79,10 @@ class TaskResult:
     attempts: int = 0
     cached: bool = False
     wall_s: float = 0.0
+    #: True when the task was cut short by a drain (SIGINT/SIGTERM) rather
+    #: than failing on its own; ``error`` names the signal.  Interrupted
+    #: tasks re-execute on resume.
+    interrupted: bool = False
     #: Per-task audit summary dict when the run executed under
     #: ``RuntimeConfig.audit``; ``None`` for unaudited or cache-served tasks.
     audit: Optional[dict] = None
@@ -81,7 +115,7 @@ class SweepError(RuntimeError):
 
 def _call(spec: TaskSpec, audit_enabled: bool = False,
           profile_enabled: bool = False, metrics_enabled: bool = False,
-          trace_enabled: bool = False) -> tuple:
+          trace_enabled: bool = False, token=None) -> tuple:
     """Worker entry point (module-level so it pickles).
 
     Returns ``(value, audit_summary, profile_summary, metrics_summary,
@@ -91,6 +125,14 @@ def _call(spec: TaskSpec, audit_enabled: bool = False,
     audit/profile/meter/trace their own simulations and ship plain-dict
     results back.
     """
+    if _STARTED_Q is not None and token is not None:
+        try:
+            _STARTED_Q.put(token)
+        except (OSError, ValueError):
+            pass  # queue torn down mid-recycle: the marker is best-effort
+    if _IN_POOL_WORKER and selfchaos.armed() \
+            and selfchaos.fire("task:kill", label=spec.label):
+        selfchaos.kill_self()
     if not (audit_enabled or profile_enabled or metrics_enabled
             or trace_enabled):
         return spec.call(), None, None, None, None
@@ -122,17 +164,22 @@ def _call(spec: TaskSpec, audit_enabled: bool = False,
             trace_report)
 
 
-def _worker_init() -> None:
+def _worker_init(started_q=None) -> None:
     """Force serial execution inside workers (no nested pools).
 
-    Also drops ``REPRO_TRACE`` from the worker's environment: the worker
-    traces into a per-task capture buffer shipped back on the result, and
-    must never lazily activate its own ambient tracer (which would race
-    the parent for the output file at exit).
+    Also drops ``REPRO_TRACE`` and ``REPRO_JOURNAL`` from the worker's
+    environment: the worker traces into a per-task capture buffer shipped
+    back on the result, and journaling belongs to the coordinating parent
+    — a worker that journaled its nested serial sweeps would interleave
+    garbage into the campaign manifest.
     """
+    global _IN_POOL_WORKER, _STARTED_Q
     from repro.runtime import config as _config
 
+    _IN_POOL_WORKER = True
+    _STARTED_Q = started_q
     os.environ.pop("REPRO_TRACE", None)
+    os.environ.pop("REPRO_JOURNAL", None)
     _config.configure(parallel=0, progress=False)
 
 
@@ -188,6 +235,10 @@ def run_tasks(
         cache = ResultCache(config.resolved_cache_dir(),
                             config.max_cache_bytes, config.max_cache_entries)
 
+    jr = run_journal.current()
+    if jr is not None:
+        jr.note("sweep", name=name, total=len(specs))
+
     results: List[Optional[TaskResult]] = [None] * len(specs)
     keys: Dict[int, str] = {}
     pending: List[int] = []
@@ -200,19 +251,43 @@ def run_tasks(
                 results[i] = TaskResult(i, spec.label, value=value,
                                         cached=True)
                 tel.cache_hit(i, spec.label)
+                if jr is not None:
+                    jr.task(i, "done", spec.label, key=keys[i], cached=True)
                 continue
             tel.cache_miss(i, spec.label)
+        if jr is not None:
+            jr.task(i, "queued", spec.label, key=keys.get(i))
         pending.append(i)
 
-    if pending and config.parallel >= 2:
+    if pending and config.parallel >= 2 and not shutdown.shutdown_requested():
         pending = _run_pool(specs, pending, results, config, tel, cache,
                             keys, trace_on)
     if pending:
         _run_serial(specs, pending, results, config, tel, cache, keys,
                     trace_on)
 
+    # A drain may leave tasks unexecuted (cancelled, deferred, or never
+    # reached).  Every index still gets a real TaskResult so callers that
+    # zip results against their own task lists stay aligned.
+    signame = shutdown.shutdown_requested()
+    if signame:
+        for i, spec in enumerate(specs):
+            if results[i] is None:
+                _mark_interrupted(results, i, spec.label, signame, tel)
+
     tel.close()
     return [r for r in results if r is not None]
+
+
+def _mark_interrupted(results, index: int, label: str, signame: str,
+                      tel: Telemetry, attempts: int = 0) -> None:
+    results[index] = TaskResult(index, label,
+                                error=f"interrupted ({signame})",
+                                interrupted=True, attempts=attempts)
+    tel.task_interrupted(index, label, signame)
+    jr = run_journal.current()
+    if jr is not None:
+        jr.task(index, "interrupted", label, signal=signame)
 
 
 def _store(cache: Optional[ResultCache], keys: Dict[int, str], index: int,
@@ -223,12 +298,19 @@ def _store(cache: Optional[ResultCache], keys: Dict[int, str], index: int,
 
 def _run_serial(specs, indices, results, config, tel, cache, keys,
                 trace_on: bool = False) -> None:
+    jr = run_journal.current()
     for i in indices:
         spec = specs[i]
+        signame = shutdown.shutdown_requested()
+        if signame:
+            _mark_interrupted(results, i, spec.label, signame, tel)
+            continue
         attempts = 0
         while True:
             attempts += 1
             tel.task_started(i, spec.label, attempts)
+            if jr is not None:
+                jr.task(i, "running", spec.label, attempt=attempts)
             start = time.monotonic()
             try:
                 (value, audit_summary, profile_summary, metrics_summary,
@@ -236,7 +318,8 @@ def _run_serial(specs, indices, results, config, tel, cache, keys,
                                        config.metrics, trace_on)
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
-                if attempts <= config.retries:
+                if attempts <= config.retries \
+                        and not shutdown.shutdown_requested():
                     tel.task_retry(i, spec.label, attempts, error)
                     backoff = config.backoff_s * (2 ** (attempts - 1))
                     tel.task_deferred(i, spec.label, backoff)
@@ -247,6 +330,9 @@ def _run_serial(specs, indices, results, config, tel, cache, keys,
                                         attempts=attempts,
                                         wall_s=time.monotonic() - start)
                 tel.task_failed(i, spec.label, error, attempts)
+                if jr is not None:
+                    jr.task(i, "failed", spec.label, error=error,
+                            attempts=attempts)
                 break
             wall = time.monotonic() - start
             results[i] = TaskResult(i, spec.label, value=value,
@@ -261,19 +347,51 @@ def _run_serial(specs, indices, results, config, tel, cache, keys,
             tel.task_trace(i, trace_report)
             _store(cache, keys, i, spec, value, wall)
             tel.task_done(i, spec.label, wall)
+            if jr is not None:
+                jr.task(i, "done", spec.label, key=keys.get(i),
+                        wall_s=round(wall, 6), cached=False)
+            if selfchaos.armed():
+                if selfchaos.fire("parent:kill", count=tel.counts["done"]):
+                    selfchaos.kill_self()
+                if selfchaos.fire("parent:int", count=tel.counts["done"]):
+                    selfchaos.interrupt_self()
             break
+
+
+def _kill_pool(pool) -> int:
+    """Tear a pool down *hard*: SIGKILL workers, reap them, return count.
+
+    ``shutdown(wait=False)`` alone leaves abandoned (timed-out) workers
+    burning CPU until their tasks finish — and blocks interpreter exit on
+    the concurrent.futures atexit join.  ``_processes`` is a private but
+    long-stable attribute (3.8–3.13); when absent we fall back to a plain
+    shutdown.
+    """
+    procs = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    killed = 0
+    for proc in procs:
+        if proc.is_alive():
+            proc.kill()
+            killed += 1
+    for proc in procs:
+        proc.join(timeout=5)
+    return killed
 
 
 def _run_pool(specs, indices, results, config, tel, cache, keys,
               trace_on: bool = False) -> List[int]:
     """Run ``indices`` on a process pool; returns indices left for serial."""
     try:
+        started_q = multiprocessing.SimpleQueue()
         pool = futures.ProcessPoolExecutor(max_workers=config.parallel,
-                                           initializer=_worker_init)
+                                           initializer=_worker_init,
+                                           initargs=(started_q,))
     except (OSError, ValueError) as exc:
         tel.degraded(f"cannot start process pool: {exc}")
         return indices
 
+    jr = run_journal.current()
     attempts = {i: 0 for i in indices}
     inflight: Dict[futures.Future, tuple] = {}  # future -> (index, t_submit)
     #: index -> monotonic deadline for a backoff-deferred resubmission.
@@ -283,17 +401,42 @@ def _run_pool(specs, indices, results, config, tel, cache, keys,
     #: wait loop resubmits them when their deadline passes.
     deferred: Dict[int, float] = {}
     leftovers: List[int] = []
+    #: Timed-out futures whose cancel() failed: their workers are still
+    #: burning CPU on results nobody wants.  Past a threshold the pool is
+    #: recycled (workers SIGKILLed, fresh pool, queued tasks resubmitted).
+    abandoned = 0
+    #: index -> times a queued-but-never-started future was timeout-cancelled
+    #: and put back with a fresh clock.  A task stuck behind hung workers
+    #: hasn't spent its own budget; bounded so a wedged pool that never
+    #: recycles still terminates instead of lapping forever.
+    queue_laps: Dict[int, int] = {}
+    #: ``(index, attempt)`` tokens reported by workers the moment they
+    #: begin executing a task.  ``Future.cancel()`` alone cannot tell a
+    #: running task from one prefetched into the executor's call queue
+    #: (both read RUNNING), so the watchdog consults this set before
+    #: charging anyone a timeout.
+    started: set = set()
+
+    def drain_started() -> None:
+        while not started_q.empty():
+            started.add(started_q.get())
+
+    drain_deadline: Optional[float] = None
 
     def submit(i: int) -> None:
         attempts[i] += 1
         tel.task_started(i, specs[i].label, attempts[i])
+        if jr is not None:
+            jr.task(i, "running", specs[i].label, attempt=attempts[i])
         fut = pool.submit(_call, specs[i], config.audit, config.profile,
-                          config.metrics, trace_on)
+                          config.metrics, trace_on,
+                          token=(i, attempts[i]))
         inflight[fut] = (i, time.monotonic())
 
     def record_failure(i: int, error: str, wall_s: float = 0.0,
                        retryable: bool = True) -> None:
-        if retryable and attempts[i] <= config.retries:
+        if retryable and attempts[i] <= config.retries \
+                and not shutdown.shutdown_requested():
             tel.task_retry(i, specs[i].label, attempts[i], error)
             backoff = config.backoff_s * (2 ** (attempts[i] - 1))
             deferred[i] = time.monotonic() + backoff
@@ -302,11 +445,40 @@ def _run_pool(specs, indices, results, config, tel, cache, keys,
             results[i] = TaskResult(i, specs[i].label, error=error,
                                     attempts=attempts[i], wall_s=wall_s)
             tel.task_failed(i, specs[i].label, error, attempts[i])
+            if jr is not None:
+                jr.task(i, "failed", specs[i].label, error=error,
+                        attempts=attempts[i])
 
     try:
         for i in indices:
             submit(i)
         while inflight or deferred:
+            signame = shutdown.shutdown_requested()
+            if signame:
+                # Drain: never start new work, cancel whatever is still
+                # queued, give running tasks a grace window to bank their
+                # results, then abandon the stragglers.
+                for i in list(deferred):
+                    del deferred[i]
+                    _mark_interrupted(results, i, specs[i].label, signame,
+                                      tel, attempts=attempts[i])
+                for fut, (i, _t) in list(inflight.items()):
+                    if fut.cancel():
+                        inflight.pop(fut)
+                        _mark_interrupted(results, i, specs[i].label,
+                                          signame, tel,
+                                          attempts=attempts[i])
+                if drain_deadline is None:
+                    drain_deadline = time.monotonic() + shutdown.DRAIN_GRACE_S
+                elif inflight and time.monotonic() > drain_deadline:
+                    for fut, (i, _t) in list(inflight.items()):
+                        fut.cancel()
+                        inflight.pop(fut)
+                        _mark_interrupted(results, i, specs[i].label,
+                                          signame, tel,
+                                          attempts=attempts[i])
+                if not inflight:
+                    break
             wait_s = 0.1
             if deferred:
                 next_due = min(deferred.values()) - time.monotonic()
@@ -323,14 +495,81 @@ def _run_pool(specs, indices, results, config, tel, cache, keys,
                 tel.task_resubmitted(i, specs[i].label, attempts[i] + 1)
                 submit(i)
             if config.task_timeout_s is not None:
+                drain_started()
                 for fut, (i, t_submit) in list(inflight.items()):
                     if fut in done or now - t_submit <= config.task_timeout_s:
                         continue
-                    fut.cancel()  # abandon result even if already running
+                    if (i, attempts[i]) not in started \
+                            and queue_laps.get(i, 0) < _QUEUE_LAPS:
+                        # No worker ever began this task: it is stuck in
+                        # the executor's queue behind hung workers.  That
+                        # is the pool's fault, not the task's — don't
+                        # charge it the timeout.  If the cancel lands,
+                        # requeue it with a fresh clock; if it doesn't
+                        # (prefetched into the call queue, which marks the
+                        # future RUNNING), leave it for the recycle sweep
+                        # to pull back.
+                        queue_laps[i] = queue_laps.get(i, 0) + 1
+                        if fut.cancel():
+                            inflight.pop(fut)
+                            nfut = pool.submit(_call, specs[i], config.audit,
+                                               config.profile, config.metrics,
+                                               trace_on,
+                                               token=(i, attempts[i]))
+                            inflight[nfut] = (i, time.monotonic())
+                        else:
+                            # Still parked in the call queue: restart its
+                            # clock so each lap costs a full timeout, not
+                            # one watchdog sweep.
+                            inflight[fut] = (i, now)
+                        continue
+                    if not fut.cancel():  # already running: result abandoned
+                        abandoned += 1
                     inflight.pop(fut)
                     record_failure(
                         i, f"timeout after {config.task_timeout_s:g}s",
                         wall_s=now - t_submit)
+                if abandoned >= _recycle_after() \
+                        and not any((i, attempts[i]) in started
+                                    for i, _t in inflight.values()):
+                    # Reclaim the capacity the abandoned workers are
+                    # burning: nothing still inflight has actually started
+                    # (whatever their futures claim, no worker reported
+                    # them), so pull everything back, SIGKILL the pool,
+                    # and resubmit on a fresh one.
+                    requeue = []
+                    for fut, (i, _t_submit) in list(inflight.items()):
+                        fut.cancel()
+                        inflight.pop(fut)
+                        requeue.append(i)
+                    killed = _kill_pool(pool)
+                    tel.pool_recycled(killed=killed, abandoned=abandoned)
+                    abandoned = 0
+                    try:
+                        # Fresh marker queue with the fresh pool: a worker
+                        # SIGKILLed mid-put could leave the old queue's
+                        # write lock held forever.
+                        started_q = multiprocessing.SimpleQueue()
+                        pool = futures.ProcessPoolExecutor(
+                            max_workers=config.parallel,
+                            initializer=_worker_init,
+                            initargs=(started_q,))
+                    except (OSError, ValueError) as exc:
+                        tel.degraded(f"cannot restart process pool: {exc}")
+                        leftovers = [j for j in attempts
+                                     if results[j] is None]
+                        inflight.clear()
+                        deferred.clear()
+                        break
+                    for i in requeue:
+                        # Same attempt, fresh submission clock: the task
+                        # never ran on the dead pool, it just moves to the
+                        # new queue, so its timeout budget starts over.
+                        fut = pool.submit(_call, specs[i], config.audit,
+                                          config.profile, config.metrics,
+                                          trace_on,
+                                          token=(i, attempts[i]))
+                        inflight[fut] = (i, time.monotonic())
             for fut in done:
                 if fut not in inflight:
                     continue
@@ -370,6 +609,22 @@ def _run_pool(specs, indices, results, config, tel, cache, keys,
                 tel.task_trace(i, trace_report)
                 _store(cache, keys, i, specs[i], value, wall)
                 tel.task_done(i, specs[i].label, wall)
+                if jr is not None:
+                    jr.task(i, "done", specs[i].label, key=keys.get(i),
+                            wall_s=round(wall, 6), cached=False)
+                if selfchaos.armed():
+                    if selfchaos.fire("parent:kill",
+                                      count=tel.counts["done"]):
+                        selfchaos.kill_self()
+                    if selfchaos.fire("parent:int",
+                                      count=tel.counts["done"]):
+                        selfchaos.interrupt_self()
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        if abandoned:
+            # Loop ended with workers still grinding on abandoned results;
+            # without the kill, the interpreter's atexit join would block
+            # on them.
+            tel.pool_recycled(killed=_kill_pool(pool), abandoned=abandoned)
+        else:
+            pool.shutdown(wait=False, cancel_futures=True)
     return leftovers

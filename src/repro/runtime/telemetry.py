@@ -24,7 +24,8 @@ import pathlib
 import sys
 import threading
 import time
-from typing import Optional
+import warnings
+from typing import List, Optional, Tuple
 
 
 class Telemetry:
@@ -52,6 +53,7 @@ class Telemetry:
             "queued": 0, "running": 0, "done": 0, "failed": 0,
             "retries": 0, "deferred": 0, "resubmitted": 0,
             "cache_hits": 0, "cache_misses": 0,
+            "interrupted": 0, "recycles": 0,
         }
         self.task_wall_s: dict = {}
         from repro.obs.trace import TaskRecorder  # dep-free module
@@ -140,6 +142,27 @@ class Telemetry:
         if self.recorder is not None and blob is not None:
             self.recorder.task_blob(index, blob)
 
+    def task_interrupted(self, index: int, label: str,
+                         signame: str = "SIGINT") -> None:
+        """A task cut short by a graceful-shutdown drain (never ran, or
+        its in-flight result was abandoned)."""
+        with self._lock:
+            self.counts["interrupted"] += 1
+        self.emit("task_interrupted", index=index, label=label,
+                  signal=signame)
+        if self.recorder is not None:
+            self.recorder.interrupted(index, label, signame)
+        self.tick()
+
+    def pool_recycled(self, killed: int, abandoned: int) -> None:
+        """The worker pool was torn down to reclaim abandoned capacity."""
+        with self._lock:
+            self.counts["recycles"] += 1
+        self.emit("pool_recycled", killed=killed, abandoned=abandoned)
+        if self.progress:
+            self._write(f"\n[repro.runtime] recycled worker pool "
+                        f"({abandoned} abandoned, {killed} killed)\n")
+
     def cache_hit(self, index: int, label: str) -> None:
         with self._lock:
             self.counts["cache_hits"] += 1
@@ -212,3 +235,32 @@ class Telemetry:
                     f"[{self.sweep}] {c['done']}/{self.total} tasks done, "
                     f"{c['failed']} failed, {retry_txt}, "
                     f"cache hit rate {rate_txt}, {self.wall_s:.1f}s\n")
+
+
+def read_events(path: pathlib.Path) -> Tuple[List[dict], int]:
+    """Load a telemetry JSONL file, tolerating a torn final line.
+
+    A process killed mid-:meth:`Telemetry.emit` leaves a partial last
+    line; crash-recovery tooling (``repro resume``, post-mortems) must
+    still read everything before it.  Returns ``(events, torn_lines)``
+    and warns once per skipped line — a torn line is information
+    (*something* died here), not an error.
+    """
+    events: List[dict] = []
+    torn = 0
+    text = pathlib.Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            torn += 1
+            warnings.warn(f"{path}:{lineno}: skipping torn telemetry line "
+                          f"({line[:40]!r}...)", stacklevel=2)
+            continue
+        if isinstance(record, dict):
+            events.append(record)
+        else:
+            torn += 1
+    return events, torn

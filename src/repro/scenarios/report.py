@@ -46,6 +46,18 @@ _DEFAULT_OBJECTIVES = (
 _NON_METRIC_KEYS = ("cell", "cached", "wall_s", "error", "buckets",
                     "protocol", "workload", "topology", "flows", "seed")
 
+#: Execution-volatile keys stripped by the writers' ``stable`` mode: they
+#: describe *how* a run executed (cache luck, wall time), not what it
+#: measured, so they differ between an interrupted+resumed campaign and an
+#: uninterrupted one even though every result row is identical.  ``repro
+#: resume`` promises byte-identical reports; stripping these keys (implied
+#: whenever a run journal is active) is what makes that promise literal.
+_VOLATILE_KEYS = ("cached", "wall_s")
+
+
+def _stable_dict(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k not in _VOLATILE_KEYS}
+
 
 @dataclass
 class MatrixReport:
@@ -192,24 +204,28 @@ def _handle(dest: Union[str, IO[str]], mode: str = "w"):
 
 
 def write_report_jsonl(dest: Union[str, IO[str]],
-                       report: MatrixReport) -> int:
+                       report: MatrixReport, stable: bool = False) -> int:
     """One JSON object per line: meta header, cells, groups, ranking.
 
     ``dest`` may be a path or an open text handle; nothing is ever written
     to stdout, so JSONL report mode stays machine-clean regardless of what
-    the hosting environment prints.
+    the hosting environment prints.  ``stable=True`` drops the
+    execution-volatile keys (:data:`_VOLATILE_KEYS`) from the meta header
+    and every cell row so a resumed run's export compares byte-for-byte
+    against the uninterrupted baseline.
     """
     fh, owned = _handle(dest)
+    clean = _stable_dict if stable else (lambda r: r)
     try:
         lines = 0
         fh.write(json.dumps({
             "record": "meta", "schema": REPORT_SCHEMA,
             "scenario": report.scenario, "compare": report.compare,
-            "objectives": report.objectives, **report.meta,
+            "objectives": report.objectives, **clean(report.meta),
         }) + "\n")
         lines += 1
         for row in report.rows:
-            fh.write(json.dumps({"record": "cell", **row}) + "\n")
+            fh.write(json.dumps({"record": "cell", **clean(row)}) + "\n")
             lines += 1
         for g in report.groups:
             fh.write(json.dumps({"record": "group", **g}) + "\n")
@@ -298,10 +314,15 @@ def validate_report_jsonl(path) -> dict:
 
 
 def write_report_csv(dest: Union[str, IO[str]],
-                     report: MatrixReport) -> int:
-    """Wide CSV of the per-cell rows (union of keys, spec order)."""
+                     report: MatrixReport, stable: bool = False) -> int:
+    """Wide CSV of the per-cell rows (union of keys, spec order).
+
+    ``stable=True`` drops the execution-volatile columns (see
+    :func:`write_report_jsonl`).
+    """
+    rows = [_stable_dict(r) for r in report.rows] if stable else report.rows
     columns: List[str] = []
-    for row in report.rows:
+    for row in rows:
         for key in row:
             if key not in columns and key != "buckets":
                 columns.append(key)
@@ -309,7 +330,7 @@ def write_report_csv(dest: Union[str, IO[str]],
     try:
         fh.write(",".join(columns) + "\n")
         n = 0
-        for row in report.rows:
+        for row in rows:
             cells = []
             for col in columns:
                 value = row.get(col, "")

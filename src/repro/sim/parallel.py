@@ -64,6 +64,8 @@ import multiprocessing
 import os
 import pickle
 import random
+import threading
+import time
 import traceback
 import zlib
 from dataclasses import dataclass, field
@@ -71,8 +73,30 @@ from itertools import count
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.packet import Packet, PacketKind
+from repro.resilience import selfchaos
 from repro.sim.engine import _RECYCLE, Event, Simulator, _heappush, _new_raw
 from repro.sim.units import tx_time_ps
+
+
+def _shard_heartbeat_s() -> float:
+    """Worker heartbeat period (``REPRO_SHARD_HEARTBEAT`` seconds)."""
+    try:
+        return max(0.05, float(os.environ.get("REPRO_SHARD_HEARTBEAT", "1")))
+    except ValueError:
+        return 1.0
+
+
+def _shard_deadline_s() -> float:
+    """Hung-shard watchdog deadline (``REPRO_SHARD_DEADLINE`` seconds).
+
+    Measured since the shard's last message (heartbeats included), so a
+    window may compute for minutes without tripping it — only a worker
+    whose heartbeat thread has gone silent is declared hung.
+    """
+    try:
+        return max(0.5, float(os.environ.get("REPRO_SHARD_DEADLINE", "60")))
+    except ValueError:
+        return 60.0
 
 __all__ = [
     "ShardContext",
@@ -515,21 +539,42 @@ def _rng_report(sim: Simulator) -> Tuple[Dict[str, str], Dict[str, bool]]:
 
 def _shard_worker(conn, builder, kwargs, shard_id, n_shards, seed, sched,
                   audit_on, metrics_on, trace_on, collect, probe) -> None:
+    # One lock serialises every message on the pipe: the heartbeat thread
+    # must never interleave bytes into the middle of a protocol reply.
+    send_lock = threading.Lock()
+    stop_hb = threading.Event()
+
+    def send(msg) -> None:
+        with send_lock:
+            conn.send(msg)
+
+    def heartbeat_loop() -> None:
+        interval = _shard_heartbeat_s()
+        while not stop_hb.wait(interval):
+            try:
+                send(("hb",))
+            except (OSError, ValueError):
+                return
+
+    hb = threading.Thread(target=heartbeat_loop, daemon=True)
+    hb.start()
     try:
-        _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed,
-                           sched, audit_on, metrics_on, trace_on, collect,
-                           probe)
+        _shard_worker_loop(send, conn, builder, kwargs, shard_id, n_shards,
+                           seed, sched, audit_on, metrics_on, trace_on,
+                           collect, probe, stop_hb)
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            send(("error", traceback.format_exc()))
         except OSError:
             pass
     finally:
+        stop_hb.set()
         conn.close()
 
 
-def _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed, sched,
-                       audit_on, metrics_on, trace_on, collect, probe) -> None:
+def _shard_worker_loop(send, conn, builder, kwargs, shard_id, n_shards, seed,
+                       sched, audit_on, metrics_on, trace_on, collect, probe,
+                       stop_hb) -> None:
     from repro import audit as audit_mod
     from repro import obs as obs_mod
 
@@ -566,9 +611,10 @@ def _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed, sched,
                     t0=build_t0, t1=tracer.now_us(),
                     args={"shard": shard_id, "nodes": len(ctx.owner),
                           "lookahead_ps": lookahead})
-    conn.send(("ready", lookahead, n_effective,
-               _digest(sorted(ctx.owner.items())), sim.peek_time()))
+    send(("ready", lookahead, n_effective,
+          _digest(sorted(ctx.owner.items())), sim.peek_time()))
     idle_anchor = tracer.now_us() if tracer is not None else 0.0
+    window_no = 0
 
     while True:
         msg = conn.recv()
@@ -578,6 +624,16 @@ def _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed, sched,
             idle_us = busy_t0 - idle_anchor
         if cmd == "run":
             _, window_end, incoming = msg
+            window_no += 1
+            if selfchaos.armed():
+                if selfchaos.fire("shard:kill", window=window_no):
+                    selfchaos.kill_self()
+                if selfchaos.fire("shard:hang", window=window_no):
+                    # A hang is silence, not death: stop heartbeating and
+                    # sleep until the coordinator's watchdog reaps us.
+                    stop_hb.set()
+                    while True:
+                        time.sleep(60)
             for (link, arr, sched_t, src_shard, src_seq, data) in incoming:
                 port = ctx.cut_in[link]
                 pkt = _decode_packet(ctx, data)
@@ -596,7 +652,7 @@ def _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed, sched,
                           "events": sim.events_processed - events_before,
                           "shipped": len(out), "received": len(incoming),
                           "idle_us": round(idle_us, 3)})
-            conn.send(("sync", sim.peek_time(), out))
+            send(("sync", sim.peek_time(), out))
         elif cmd == "probe":
             value = probe(ctx, msg[1]) if probe is not None else None
             if tracer is not None:
@@ -604,9 +660,10 @@ def _shard_worker_loop(conn, builder, kwargs, shard_id, n_shards, seed, sched,
                             t0=busy_t0, t1=tracer.now_us(),
                             args={"shard": shard_id, "t_ps": msg[1],
                                   "idle_us": round(idle_us, 3)})
-            conn.send(("probe", msg[1], value))
+            send(("probe", msg[1], value))
         elif cmd == "collect":
-            conn.send(("result", _collect_result(
+            stop_hb.set()
+            send(("result", _collect_result(
                 ctx, collect, audit_marker, obs_marker, tracer)))
             return
         else:  # pragma: no cover - protocol guard
@@ -679,10 +736,247 @@ class ShardedRun:
     audit: Optional[dict] = None
     metrics: Optional[dict] = None
     warnings: List[str] = field(default_factory=list)
+    #: One record per shard failover the supervisor performed:
+    #: ``{"shard", "reason", "replayed_windows"}``.  Empty on a clean run.
+    failovers: List[dict] = field(default_factory=list)
 
     @property
     def drained(self) -> bool:
         return all(r["pending"] == 0 for r in self.shards)
+
+
+class _ShardFailure(Exception):
+    """Internal: shard ``shard_id`` died or went silent (recoverable)."""
+
+    def __init__(self, shard_id: int, reason: str):
+        super().__init__(f"shard {shard_id}: {reason}")
+        self.shard_id = shard_id
+        self.reason = reason
+
+
+class _ShardSupervisor:
+    """Spawns, watches, reaps, and — on death — resurrects shard workers.
+
+    Recovery protocol: window barriers are natural checkpoints, so when a
+    worker dies (SIGKILL, OOM) or its heartbeat goes silent past the
+    deadline, the supervisor terminates and reaps it, spawns a fresh
+    worker (which replays the deterministic builder), then replays the
+    recorded ``run`` command history — discarding the replayed outboxes,
+    whose packets were already routed the first time — to fast-forward
+    the replica to the last completed barrier.  Replicated construction
+    plus deterministic windows make the resurrected shard's state
+    bit-identical to the dead one's, which is what keeps golden digests
+    equal to a failure-free run.
+
+    A deterministic worker *error* (an exception reply) is not failed
+    over — it would recur identically — and raises after every sibling is
+    reaped, so no orphan processes outlive the run.
+    """
+
+    def __init__(self, spawn: Callable, shards: int,
+                 deadline_s: Optional[float], max_respawns: int,
+                 tracer=None):
+        self._spawn = spawn
+        self.shards = shards
+        self.deadline_s = _shard_deadline_s() if deadline_s is None \
+            else deadline_s
+        self.max_respawns = max_respawns
+        self.tracer = tracer
+        self.conns: List[Any] = [None] * shards
+        self.procs: List[Any] = [None] * shards
+        self.last_seen = [0.0] * shards
+        self.readies: List[Optional[tuple]] = [None] * shards
+        self.owner_digest: Optional[str] = None
+        #: Recorded replayable commands (the ``run`` history) per shard.
+        self.history: List[List[tuple]] = [[] for _ in range(shards)]
+        #: The posted-but-unanswered command per shard (replay excludes it).
+        self.pending_cmd: List[Optional[tuple]] = [None] * shards
+        self.respawns = 0
+        self.failovers: List[dict] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, i: int) -> None:
+        self.conns[i], self.procs[i] = self._spawn(i)
+        self.last_seen[i] = time.monotonic()
+
+    def start_all(self) -> None:
+        for i in range(self.shards):
+            self.start(i)
+
+    def _reap(self, i: int) -> None:
+        conn, proc = self.conns[i], self.procs[i]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self.conns[i] = None
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+            if proc.is_alive():
+                proc.kill()
+            proc.join()
+            self.procs[i] = None
+
+    def reap_all(self, grace_s: float = 30.0) -> None:
+        """Terminate and join every worker — the no-orphans guarantee.
+
+        On the success path workers have already exited (``collect``
+        returns); the join is instant.  On any error path this tears the
+        whole cohort down hard: close pipes (EOF wakes blocked workers),
+        join with a grace period, terminate, and finally SIGKILL."""
+        for conn in self.conns:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self.conns = [None] * self.shards
+        procs = [p for p in self.procs if p is not None]
+        deadline = time.monotonic() + grace_s
+        for proc in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+            if proc.is_alive():
+                proc.kill()
+            proc.join()
+        self.procs = [None] * self.shards
+
+    # -- messaging ----------------------------------------------------------
+
+    def _send_raw(self, i: int, msg: tuple) -> None:
+        try:
+            self.conns[i].send(msg)
+        except (OSError, ValueError, BrokenPipeError):
+            raise _ShardFailure(
+                i, f"pipe closed (exitcode "
+                   f"{getattr(self.procs[i], 'exitcode', None)})")
+
+    def _recv_raw(self, i: int) -> tuple:
+        """One protocol message from shard ``i`` (heartbeats skipped),
+        watching for death and heartbeat silence while waiting."""
+        while True:
+            conn, proc = self.conns[i], self.procs[i]
+            try:
+                if conn.poll(0.2):
+                    msg = conn.recv()
+                    self.last_seen[i] = time.monotonic()
+                    if msg[0] == "hb":
+                        continue
+                    if msg[0] == "error":
+                        # Deterministic failure: a respawn would re-raise
+                        # the same exception.  Reap everything and die.
+                        self.reap_all(grace_s=5.0)
+                        raise RuntimeError(
+                            f"shard {i} worker failed:\n{msg[1]}")
+                    return msg
+            except (EOFError, OSError):
+                raise _ShardFailure(
+                    i, f"worker exited unexpectedly "
+                       f"(exitcode {proc.exitcode})")
+            if not proc.is_alive() and not conn.poll(0):
+                raise _ShardFailure(
+                    i, f"worker died (exitcode {proc.exitcode})")
+            if time.monotonic() - self.last_seen[i] > self.deadline_s:
+                raise _ShardFailure(
+                    i, f"no heartbeat for {self.deadline_s:g}s "
+                       f"(hung worker)")
+
+    def post(self, i: int, msg: tuple, record: bool = False) -> None:
+        """Send a command; a send failure triggers failover (which ends
+        with the command re-posted)."""
+        if record:
+            self.history[i].append(msg)
+        self.pending_cmd[i] = msg
+        try:
+            self._send_raw(i, msg)
+        except _ShardFailure as fail:
+            self.failover(i, fail.reason)
+
+    def reply(self, i: int) -> tuple:
+        """The pending command's reply, failing over as needed."""
+        while True:
+            try:
+                msg = self._recv_raw(i)
+                self.pending_cmd[i] = None
+                return msg
+            except _ShardFailure as fail:
+                self.failover(i, fail.reason)
+
+    def ready(self, i: int) -> tuple:
+        """The shard's ready handshake (possibly stashed by a failover)."""
+        while True:
+            if self.readies[i] is not None:
+                return self.readies[i]
+            try:
+                self.readies[i] = self._recv_raw(i)
+                return self.readies[i]
+            except _ShardFailure as fail:
+                self.failover(i, fail.reason)
+
+    # -- recovery -----------------------------------------------------------
+
+    def failover(self, i: int, reason: str) -> None:
+        """Respawn shard ``i``, fast-forward it to the last completed
+        window barrier, and re-post its pending command (if any).
+
+        Loops until the shard is healthy or the respawn budget runs out —
+        a freshly respawned worker dying during its own replay counts
+        against the same budget (each round reaps before respawning, so
+        no attempt leaks a process)."""
+        while True:
+            self._reap(i)
+            self.respawns += 1
+            if self.respawns > self.max_respawns:
+                self.reap_all(grace_s=5.0)
+                raise RuntimeError(
+                    f"shard {i} failed ({reason}) and the respawn budget "
+                    f"({self.max_respawns}) is exhausted")
+            t0 = self.tracer.now_us() if self.tracer is not None else 0.0
+            if self.tracer is not None:
+                self.tracer.event("shard", "shard.down", track="coordinator",
+                                  t=t0, args={"shard": i, "reason": reason,
+                                              "respawn": self.respawns})
+            pending = self.pending_cmd[i]
+            completed = self.history[i]
+            if pending is not None and completed and completed[-1] is pending:
+                completed = completed[:-1]
+            try:
+                self.start(i)
+                ready = self._recv_raw(i)
+                if self.owner_digest is not None \
+                        and ready[3] != self.owner_digest:
+                    self.reap_all(grace_s=5.0)
+                    raise RuntimeError(
+                        f"respawned shard {i} computed a different "
+                        f"partition — the builder is not deterministic")
+                self.readies[i] = ready
+                for msg in completed:
+                    # Replayed windows re-ship their cut-crossing packets;
+                    # those were routed the first time, so the replies are
+                    # drained and discarded.
+                    self._send_raw(i, msg)
+                    self._recv_raw(i)
+                if pending is not None:
+                    self._send_raw(i, pending)
+            except _ShardFailure as refail:
+                reason = refail.reason
+                continue
+            if self.tracer is not None:
+                self.tracer.span(
+                    "shard", "failover", track="coordinator",
+                    t0=t0, t1=self.tracer.now_us(),
+                    args={"shard": i, "reason": reason,
+                          "replayed_windows": len(completed),
+                          "respawn": self.respawns})
+            self.failovers.append({"shard": i, "reason": reason,
+                                   "replayed_windows": len(completed)})
+            return
 
 
 def run_sharded(builder, kwargs: Optional[dict] = None, *,
@@ -692,7 +986,9 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
                 probe: Optional[Callable] = None,
                 checkpoints: Sequence[int] = (),
                 audit: Optional[bool] = None,
-                metrics: Optional[bool] = None) -> ShardedRun:
+                metrics: Optional[bool] = None,
+                deadline_s: Optional[float] = None,
+                max_respawns: int = 3) -> ShardedRun:
     """Execute ``builder``'s simulation to ``until`` across ``shards``
     worker processes; bit-identical to the same build run serially.
 
@@ -715,6 +1011,16 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
     active, per-shard captures run in the workers and the merged summary
     — including the cross-shard flow invariant checks the workers defer —
     is both returned and recorded into any open parent capture.
+
+    Workers heartbeat to the coordinator; a worker that dies (SIGKILL,
+    OOM) or goes silent past ``deadline_s`` (default
+    ``REPRO_SHARD_DEADLINE``, 60 s) is reaped and failed over by the
+    :class:`_ShardSupervisor` — respawned, its builder replayed, and its
+    window history fast-forwarded to the last completed barrier — up to
+    ``max_respawns`` times per run, with results bit-identical to a
+    failure-free run (:attr:`ShardedRun.failovers` records each).  On
+    unrecoverable errors every remaining worker is terminated and joined
+    before the exception propagates: no orphan processes, ever.
     """
     from repro import audit as audit_mod
     from repro import obs as obs_mod
@@ -734,24 +1040,27 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
     merge_t0 = None
 
     mp = multiprocessing.get_context()
-    conns, procs = [], []
-    try:
-        for shard_id in range(shards):
-            parent_conn, child_conn = mp.Pipe()
-            proc = mp.Process(
-                target=_shard_worker,
-                args=(child_conn, builder, kwargs, shard_id, shards, seed,
-                      sched, audit_on, metrics_on, trace_on, collect, probe),
-                daemon=True)
-            proc.start()
-            child_conn.close()
-            conns.append(parent_conn)
-            procs.append(proc)
 
-        readies = [_recv(conns[i], procs[i], i) for i in range(shards)]
+    def spawn(shard_id: int):
+        parent_conn, child_conn = mp.Pipe()
+        proc = mp.Process(
+            target=_shard_worker,
+            args=(child_conn, builder, kwargs, shard_id, shards, seed,
+                  sched, audit_on, metrics_on, trace_on, collect, probe),
+            daemon=True)
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
+
+    sup = _ShardSupervisor(spawn, shards, deadline_s, max_respawns, tracer)
+    try:
+        sup.start_all()
+        readies = [sup.ready(i) for i in range(shards)]
         lookahead, n_effective, owner_digest = readies[0][1:4]
+        sup.owner_digest = owner_digest
         for i, ready in enumerate(readies):
             if ready[3] != owner_digest:
+                sup.reap_all(grace_s=5.0)
                 raise RuntimeError(
                     f"shard {i} computed a different partition than shard 0 "
                     f"— the builder is not deterministic across processes")
@@ -764,10 +1073,9 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
 
         def do_probe(t: int) -> None:
             probe_t0 = tracer.now_us() if tracer is not None else 0.0
-            for conn in conns:
-                conn.send(("probe", t))
-            probes[t] = [_recv(conn, procs[i], i)[2]
-                         for i, conn in enumerate(conns)]
+            for i in range(shards):
+                sup.post(i, ("probe", t))
+            probes[t] = [sup.reply(i)[2] for i in range(shards)]
             if tracer is not None:
                 tracer.span("shard", "probe", track="coordinator",
                             t0=probe_t0, t1=tracer.now_us(),
@@ -792,11 +1100,11 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
                 window_end = checkpoints[cp_idx]
             grant_t0 = tracer.now_us() if tracer is not None else 0.0
             routed = 0
-            for i, conn in enumerate(conns):
-                conn.send(("run", window_end, pending[i]))
+            for i in range(shards):
+                sup.post(i, ("run", window_end, pending[i]), record=True)
                 pending[i] = []
-            for i, conn in enumerate(conns):
-                reply = _recv(conn, procs[i], i)
+            for i in range(shards):
+                reply = sup.reply(i)
                 next_times[i] = reply[1]
                 for message in reply[2]:
                     pending[message[0]].append(message[1:])
@@ -813,20 +1121,14 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
                 cp_idx += 1
 
         merge_t0 = tracer.now_us() if tracer is not None else None
-        for conn in conns:
-            conn.send(("collect",))
+        for i in range(shards):
+            sup.post(i, ("collect",))
         results: List[Optional[dict]] = [None] * shards
-        for i, conn in enumerate(conns):
-            reply = _recv(conn, procs[i], i)
+        for i in range(shards):
+            reply = sup.reply(i)
             results[reply[1]["shard"]] = reply[1]
     finally:
-        for conn in conns:
-            conn.close()
-        for proc in procs:
-            proc.join(timeout=30)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join()
+        sup.reap_all()
 
     run = ShardedRun(
         n_shards=shards,
@@ -837,6 +1139,7 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
         shards=results,
         collected=[r["collect"] for r in results],
         probes=probes,
+        failovers=sup.failovers,
     )
     _merge_warnings(run)
     if audit_on:
@@ -857,18 +1160,6 @@ def run_sharded(builder, kwargs: Optional[dict] = None, *,
                     args={"shards": shards, "windows": windows,
                           "events": run.events})
     return run
-
-
-def _recv(conn, proc, shard_id: int):
-    try:
-        reply = conn.recv()
-    except EOFError:
-        raise RuntimeError(
-            f"shard {shard_id} worker exited unexpectedly "
-            f"(exitcode {proc.exitcode})") from None
-    if reply[0] == "error":
-        raise RuntimeError(f"shard {shard_id} worker failed:\n{reply[1]}")
-    return reply
 
 
 def _merge_warnings(run: ShardedRun) -> None:

@@ -1,0 +1,540 @@
+"""Crash-safe execution (``repro.resilience``, DESIGN.md §15).
+
+The invariant every test here circles back to: **recovery never changes
+results**.  A campaign that loses a worker to SIGKILL, its parent to
+Ctrl-C, a cache blob to a torn write, or a shard to a hang must come back
+— via retry, failover, or ``repro resume`` — with byte-identical output
+and no orphan processes left behind.
+
+Sweep task functions live at module scope so the process pool can pickle
+them, like everywhere else in the suite.  Self-chaos directives are armed
+per-test through ``REPRO_SELFCHAOS`` (+ a tmpdir ``REPRO_SELFCHAOS_DIR``
+for the once-only markers) and the signal-drain flag is reset around every
+test so the module leaves no global state behind.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro import ExpressPassFlow, ExpressPassParams, runtime
+from repro.net.trace import PortTracer
+from repro.resilience import (
+    EXIT_INTERRUPTED,
+    JOURNAL_SCHEMA,
+    RunJournal,
+    load_journal,
+    selfchaos,
+)
+from repro.resilience import journal as run_journal
+from repro.resilience import signals as shutdown
+from repro.runtime import ResultCache, TaskSpec, Telemetry, run_tasks
+from repro.runtime.telemetry import read_events
+from repro.sim.parallel import run_sharded
+from repro.sim.units import SEC, US
+from repro.topology.simple import dumbbell
+
+EP = dict(params=ExpressPassParams(rtt_hint_ps=40 * US))
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    """No test leaks the drain flag, an active journal, or chaos env."""
+    shutdown.reset()
+    run_journal.deactivate()
+    yield
+    shutdown.reset()
+    run_journal.deactivate()
+
+
+@pytest.fixture
+def chaos(monkeypatch, tmp_path):
+    """Arm ``REPRO_SELFCHAOS`` with a private once-only marker dir."""
+    def _arm(directives: str):
+        monkeypatch.setenv(selfchaos.ENV_VAR, directives)
+        monkeypatch.setenv(selfchaos.ENV_DIR, str(tmp_path / "chaos-markers"))
+    return _arm
+
+
+def _assert_no_orphans():
+    deadline = time.monotonic() + 10
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+# -- sweep task functions (module scope: pool workers pickle by name) --------
+
+def square(x, seed=1):
+    return {"x": x, "sq": x * x, "seed": seed}
+
+
+def request_shutdown_then_return(x):
+    """A task that behaves like a SIGINT arriving mid-sweep."""
+    shutdown.request("SIGINT")
+    return {"x": x}
+
+
+def sleep_forever(tag=0):
+    time.sleep(600)
+    return {"tag": tag}
+
+
+def quick(tag=0):
+    return {"tag": tag}
+
+
+def _specs(fn, values, key="x"):
+    return [TaskSpec(fn, {key: v}, label=f"{fn.__name__}[{key}={v}]")
+            for v in values]
+
+
+# -- shard builders (module scope: shard workers run them) -------------------
+
+def build_pair(sim):
+    topo = dumbbell(sim, n_pairs=2)
+    tracers = {"L->R": PortTracer(topo.bottleneck_fwd)}
+    ExpressPassFlow(topo.senders[0], topo.receivers[0],
+                    size_bytes=30_000, **EP)
+    ExpressPassFlow(topo.senders[1], topo.receivers[1],
+                    size_bytes=20_000, start_ps=500 * US, **EP)
+    return SimpleNamespace(net=topo.net, topo=topo, tracers=tracers)
+
+
+def build_broken(sim):
+    raise ValueError("deterministically broken builder")
+
+
+def collect_traces(ctx):
+    return {name: list(t.records) for name, t in ctx.built.tracers.items()}
+
+
+# ---------------------------------------------------------------------------
+# Journal: round-trip, folding, torn tails
+# ---------------------------------------------------------------------------
+
+class TestJournal:
+    def test_round_trip_and_folding(self, tmp_path):
+        path = tmp_path / "run.journal.jsonl"
+        jr = RunJournal(path)
+        jr.meta(argv=["run", "fig15", "--journal", str(path)],
+                command="run", name="fig15", total=3)
+        jr.task(0, "queued", "t0", key="k0")
+        jr.task(1, "queued", "t1", key="k1")
+        jr.task(2, "queued", "t2", key="k2")
+        jr.task(0, "running", "t0", attempt=1)
+        jr.task(0, "done", "t0", key="k0", cached=False)
+        jr.task(1, "failed", "t1", error="boom", attempts=3)
+        jr.note("sweep", name="fig15", total=3)
+        jr.close()
+
+        state = load_journal(path)
+        assert state.meta["schema"] == JOURNAL_SCHEMA
+        assert state.argv[-2:] == ["--journal", str(path)]
+        assert state.generation == 0
+        assert state.total == 3
+        assert state.by_state("done") == [0]
+        assert state.by_state("failed") == [1]
+        assert state.unfinished() == [2]
+        assert state.tasks[0]["key"] == "k0"
+        assert state.notes and state.notes[0]["record"] == "sweep"
+        assert state.torn_lines == 0
+
+    def test_torn_final_line_warns_and_folds_the_rest(self, tmp_path):
+        path = tmp_path / "run.journal.jsonl"
+        jr = RunJournal(path)
+        jr.meta(argv=["run", "x"], command="run", name="x", total=2)
+        jr.task(0, "done", "t0")
+        jr.close()
+        with path.open("a") as fh:
+            fh.write('{"record": "task", "index": 1, "sta')  # SIGKILL here
+        with pytest.warns(UserWarning, match="torn journal line"):
+            state = load_journal(path)
+        assert state.torn_lines == 1
+        assert state.by_state("done") == [0]
+        assert 1 not in state.tasks
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_journal(tmp_path / "nope.jsonl")
+
+    def test_writer_never_raises_on_bad_path(self):
+        jr = RunJournal(pathlib.Path("/proc/nonexistent/journal.jsonl"))
+        jr.task(0, "done", "t0")  # swallowed: journal is a safety net
+        jr.close()
+
+
+class TestSchedulerJournaling:
+    def test_run_tasks_journals_states_and_cache_keys(self, tmp_path):
+        jr = run_journal.activate(tmp_path / "j.jsonl")
+        with runtime.using(cache_dir=tmp_path / "cache", cache_enabled=True,
+                           parallel=0, progress=False):
+            run_tasks(_specs(square, [2, 3]), name="sq")
+            run_tasks(_specs(square, [2, 3]), name="sq")  # cache replay
+        run_journal.deactivate()
+        state = load_journal(jr.path)
+        assert state.by_state("done") == [0, 1]
+        # First generation executed (cached=False), second replayed.
+        done = [r for r in json.loads(
+            "[" + ",".join(
+                l for l in jr.path.read_text().splitlines() if l) + "]")
+            if r.get("record") == "task" and r.get("state") == "done"]
+        assert [d["cached"] for d in done] == [False, False, True, True]
+        assert all(d["key"] for d in done)
+
+    def test_serial_drain_marks_interrupted(self, tmp_path):
+        jr = run_journal.activate(tmp_path / "j.jsonl")
+        tel = Telemetry("drain", 3, progress=False)
+        with runtime.using(cache_enabled=False, parallel=0, retries=0,
+                           progress=False):
+            results = run_tasks(_specs(request_shutdown_then_return,
+                                       [1, 2, 3]),
+                                name="drain", telemetry=tel)
+        run_journal.deactivate()
+        assert len(results) == 3
+        assert results[0].ok                      # finished before the drain
+        assert results[1].interrupted and results[2].interrupted
+        assert results[1].error == "interrupted (SIGINT)"
+        assert tel.counts["interrupted"] == 2
+        state = load_journal(jr.path)
+        assert state.by_state("interrupted") == [1, 2]
+        assert state.unfinished() == [1, 2]       # exactly what resume redoes
+
+
+# ---------------------------------------------------------------------------
+# Self-chaos: killed workers, torn cache writes, ENOSPC
+# ---------------------------------------------------------------------------
+
+class TestSelfChaos:
+    def test_directives_fire_once(self, chaos):
+        chaos("task:kill=alpha,parent:kill=2")
+        assert selfchaos.armed()
+        assert not selfchaos.fire("task:kill", label="beta")
+        assert selfchaos.fire("task:kill", label="task-alpha-1")
+        assert not selfchaos.fire("task:kill", label="task-alpha-2")  # spent
+        assert not selfchaos.fire("parent:kill", count=1)
+        assert selfchaos.fire("parent:kill", count=2)
+        assert not selfchaos.fire("parent:kill", count=3)
+
+    def test_disarmed_is_free(self):
+        assert not selfchaos.armed()
+        assert not selfchaos.fire("task:kill", label="anything")
+
+    def test_worker_sigkill_recovers_bit_identical(self, chaos, tmp_path):
+        with runtime.using(cache_enabled=False, parallel=0, progress=False):
+            baseline = run_tasks(_specs(square, [4, 5, 6]), name="kill")
+        chaos("task:kill=x=5")
+        tel = Telemetry("kill", 3, progress=False)
+        with runtime.using(cache_enabled=False, parallel=2, retries=1,
+                           progress=False):
+            survived = run_tasks(_specs(square, [4, 5, 6]), name="kill",
+                                 telemetry=tel)
+        assert [r.value for r in survived] == [r.value for r in baseline]
+        assert all(r.ok for r in survived)
+        _assert_no_orphans()
+
+    def test_cache_torn_write_is_pruned_as_miss(self, chaos, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        chaos("cache:torn")
+        assert cache.put("k" * 64, {"big": list(range(500))})
+        hit, value = cache.get("k" * 64)
+        assert not hit and value is None
+        assert cache.counters()["torn_pruned"] == 1
+        assert not list((tmp_path / "cache").glob("*.pkl"))
+        # Once-only: the next put is healthy.
+        assert cache.put("k" * 64, {"big": list(range(500))})
+        assert cache.get("k" * 64)[0]
+
+    def test_cache_enospc_put_fails_cleanly(self, chaos, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        chaos("cache:enospc")
+        assert not cache.put("e" * 64, {"v": 1})
+        assert not list((tmp_path / "cache").glob("*"))  # no torn tmp files
+        assert cache.put("e" * 64, {"v": 1})  # directive spent
+        assert cache.get("e" * 64) == (True, {"v": 1})
+
+
+# ---------------------------------------------------------------------------
+# Cross-process eviction lock
+# ---------------------------------------------------------------------------
+
+class TestEvictionLock:
+    def _full_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", max_entries=1)
+        cache.put("a" * 64, {"v": 1})
+        cache.put("b" * 64, {"v": 2})
+        return cache
+
+    def test_busy_lock_skips_scan(self, tmp_path):
+        cache = self._full_cache(tmp_path)
+        lock = cache._lock_path()
+        lock.write_text("pid=12345\n")  # fresh: a live concurrent scanner
+        assert cache.evict() == 0
+        assert cache.counters()["eviction_lock_busy"] >= 1
+        assert lock.exists()  # not ours to release
+
+    def test_stale_lock_is_broken_and_scan_proceeds(self, tmp_path):
+        cache = self._full_cache(tmp_path)
+        lock = cache._lock_path()
+        lock.write_text("pid=12345\n")
+        stale = time.time() - (cache._LOCK_STALE_S + 60)
+        os.utime(lock, (stale, stale))
+        assert cache.evict() >= 1  # takeover: caps enforced again
+        assert not lock.exists()
+        assert len(list((tmp_path / "cache").glob("*.pkl"))) == 1
+
+    def test_lock_released_after_normal_evict(self, tmp_path):
+        cache = self._full_cache(tmp_path)
+        cache.evict()
+        assert not cache._lock_path().exists()
+
+
+# ---------------------------------------------------------------------------
+# Pool recycle: abandoned timed-out workers are reclaimed
+# ---------------------------------------------------------------------------
+
+class TestPoolRecycle:
+    def test_timeout_abandonment_recycles_and_queue_completes(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_RECYCLE_AFTER", "1")
+        tel = Telemetry("recycle", 4, progress=False)
+        specs = (_specs(sleep_forever, [0, 1], key="tag")
+                 + _specs(quick, [2, 3], key="tag"))
+        with runtime.using(cache_enabled=False, parallel=2, retries=0,
+                           task_timeout_s=0.5, progress=False):
+            results = run_tasks(specs, name="recycle", telemetry=tel)
+        assert tel.counts["recycles"] >= 1
+        assert results[0].error and "timeout" in results[0].error
+        assert results[1].error and "timeout" in results[1].error
+        # The queued tasks never started (both workers were hung), so the
+        # watchdog must not charge them the sleepers' timeout: both finish
+        # on the fresh pool after the recycle — including the one the
+        # executor had prefetched into its call queue, whose future reads
+        # RUNNING and refuses cancellation.
+        assert results[2].value == {"tag": 2}
+        assert results[3].value == {"tag": 3}
+        _assert_no_orphans()
+
+
+# ---------------------------------------------------------------------------
+# Shard failover: SIGKILL, hang, deterministic error, respawn budget
+# ---------------------------------------------------------------------------
+
+UNTIL = SEC // 2
+
+
+class TestShardFailover:
+    @pytest.fixture(scope="class")
+    def serial_traces(self):
+        run = run_sharded(build_pair, shards=1, until=UNTIL, seed=7,
+                          collect=collect_traces)
+        return run.collected
+
+    def test_shard_sigkill_fails_over_bit_identical(self, chaos,
+                                                    serial_traces):
+        chaos("shard:kill=2")
+        run = run_sharded(build_pair, shards=2, until=UNTIL, seed=7,
+                          collect=collect_traces)
+        assert len(run.failovers) == 1
+        fo = run.failovers[0]
+        assert fo["shard"] in (0, 1)
+        assert "exited" in fo["reason"]
+        assert fo["replayed_windows"] >= 1
+        merged = [c["L->R"] for c in run.collected if c["L->R"]]
+        assert merged == [serial_traces[0]["L->R"]]
+        _assert_no_orphans()
+
+    def test_hung_shard_hits_deadline_and_fails_over(self, chaos,
+                                                     monkeypatch,
+                                                     serial_traces):
+        monkeypatch.setenv("REPRO_SHARD_HEARTBEAT", "0.1")
+        chaos("shard:hang=2")
+        run = run_sharded(build_pair, shards=2, until=UNTIL, seed=7,
+                          collect=collect_traces, deadline_s=2.0)
+        assert len(run.failovers) == 1
+        assert "heartbeat" in run.failovers[0]["reason"]
+        merged = [c["L->R"] for c in run.collected if c["L->R"]]
+        assert merged == [serial_traces[0]["L->R"]]
+        _assert_no_orphans()
+
+    def test_deterministic_error_is_not_respawned(self):
+        with pytest.raises(RuntimeError, match="broken builder"):
+            run_sharded(build_broken, shards=2, until=UNTIL, seed=7)
+        _assert_no_orphans()
+
+    def test_respawn_budget_exhaustion_raises(self, chaos):
+        chaos("shard:kill=1")
+        with pytest.raises(RuntimeError, match="respawn budget"):
+            run_sharded(build_pair, shards=2, until=UNTIL, seed=7,
+                        max_respawns=0)
+        _assert_no_orphans()
+
+
+# ---------------------------------------------------------------------------
+# Torn-final-line tolerance: telemetry reader and trace validator
+# ---------------------------------------------------------------------------
+
+class TestTornTails:
+    def test_telemetry_reader_skips_torn_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tel = Telemetry("sweep", 1, jsonl_path=path, progress=False)
+        tel.task_queued(0, "t0")
+        tel.task_done(0, "t0", wall_s=0.1)
+        with path.open("a") as fh:
+            fh.write('{"t": 1.0, "event": "task_do')
+        with pytest.warns(UserWarning, match="torn telemetry line"):
+            events, torn = read_events(path)
+        assert torn == 1
+        assert [e["event"] for e in events] == ["task_queued", "task_done"]
+
+    def _trace_file(self, path):
+        from repro.obs import trace as obs_trace
+        tracer = obs_trace.Tracer()
+        tracer.span("runtime", "demo", track="task/0", t0=0.0, t1=1.0)
+        obs_trace.write_jsonl(path, tracer)
+        return obs_trace
+
+    def test_trace_validate_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs_trace = self._trace_file(path)
+        with path.open("a") as fh:
+            fh.write('{"record": "span", "layer": "runt')
+        with pytest.warns(UserWarning, match="torn"):
+            info = obs_trace.validate_jsonl(path)
+        assert info["torn"] == 1
+        assert info["records"]["span"] == 1
+        with pytest.warns(UserWarning, match="torn"):
+            data = obs_trace.load_jsonl(path)
+        assert data["torn"] == 1
+        assert len(data["records"]) == 1
+
+    def test_trace_validate_still_rejects_mid_file_garbage(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs_trace = self._trace_file(path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, "not json at all")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="not JSON"):
+            obs_trace.validate_jsonl(path)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: SIGKILL mid-campaign, `repro resume`, byte-identical report
+# ---------------------------------------------------------------------------
+
+TINY_SPEC = {
+    "schema": "repro.scenarios/v1",
+    "name": "resilience_tiny",
+    "description": "2-cell micro-matrix for kill-resume tests",
+    "topology": {"kind": "clos", "rate_bps": 10_000_000_000},
+    "workload": {"kind": "poisson", "distribution": "web_search",
+                 "load": 0.2, "n_flows": 12,
+                 "size_cap_bytes": 200_000},
+    "timing": {"drain_ps": 50_000_000_000},
+    "seeds": [1],
+    "sweep": {"transport.protocol": ["expresspass", "dctcp"]},
+    "report": {"compare": "transport.protocol"},
+}
+
+
+def _repro(args, tmp_path, chaos_env=None, check=True, cache="cache"):
+    # Each logical run gets its own cache subdir (``cache=``): a baseline
+    # must not warm the crash run's cache, or every cell cache-hits and the
+    # chaos directive under test never fires.
+    env = dict(os.environ,
+               PYTHONPATH=str(REPO / "src"),
+               REPRO_CACHE_DIR=str(tmp_path / cache),
+               REPRO_PROGRESS="0")
+    env.pop("REPRO_SELFCHAOS", None)
+    env.pop("REPRO_SELFCHAOS_DIR", None)
+    if chaos_env:
+        env["REPRO_SELFCHAOS"] = chaos_env
+        env["REPRO_SELFCHAOS_DIR"] = str(tmp_path / "chaos-markers")
+    proc = subprocess.run([sys.executable, "-m", "repro"] + args,
+                          capture_output=True, text=True, env=env,
+                          cwd=str(REPO), timeout=600)
+    if check:
+        assert proc.returncode == 0, proc.stderr
+    return proc
+
+
+@pytest.mark.slow
+class TestKillResumeEndToEnd:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(TINY_SPEC))
+        return str(path)
+
+    def test_parent_sigkill_then_resume_is_byte_identical(self, tmp_path,
+                                                          spec_path):
+        baseline = tmp_path / "baseline.jsonl"
+        resumed = tmp_path / "resumed.jsonl"
+        journal = tmp_path / "run.journal.jsonl"
+        _repro(["matrix", spec_path,
+                "--journal", str(tmp_path / "b.journal.jsonl"),
+                "--report-jsonl", str(baseline)], tmp_path, cache="cache-a")
+
+        crash = _repro(["matrix", spec_path, "--journal", str(journal),
+                        "--report-jsonl", str(resumed)], tmp_path,
+                       chaos_env="parent:kill=1", check=False,
+                       cache="cache-b")
+        assert crash.returncode == -signal.SIGKILL
+        assert not resumed.exists()
+        state = load_journal(journal)
+        assert state.by_state("done") and state.unfinished()
+
+        _repro(["resume", str(journal)], tmp_path, cache="cache-b")
+        assert baseline.read_bytes() == resumed.read_bytes()
+        state = load_journal(journal)
+        assert state.generation == 1
+        assert not state.unfinished()
+
+    def test_worker_sigkill_recovers_within_the_run(self, tmp_path,
+                                                    spec_path):
+        baseline = tmp_path / "baseline.jsonl"
+        survived = tmp_path / "survived.jsonl"
+        _repro(["matrix", spec_path, "--journal",
+                str(tmp_path / "b.journal.jsonl"),
+                "--report-jsonl", str(baseline)], tmp_path, cache="cache-a")
+        _repro(["matrix", spec_path, "--parallel", "2",
+                "--journal", str(tmp_path / "w.journal.jsonl"),
+                "--report-jsonl", str(survived)], tmp_path,
+               chaos_env="task:kill=dctcp", cache="cache-b")
+        assert baseline.read_bytes() == survived.read_bytes()
+
+    def test_sigint_drains_to_exit_75_and_resumes(self, tmp_path, spec_path):
+        journal = tmp_path / "run.journal.jsonl"
+        report = tmp_path / "report.jsonl"
+        baseline = tmp_path / "baseline.jsonl"
+        _repro(["matrix", spec_path,
+                "--journal", str(tmp_path / "b.journal.jsonl"),
+                "--report-jsonl", str(baseline)], tmp_path, cache="cache-a")
+
+        # parent:int=1 is a deterministic Ctrl-C: the scheduler SIGINTs
+        # itself after its first completed cell, so the drain path runs
+        # every time instead of racing an external timer.
+        proc = _repro(["matrix", spec_path, "--journal", str(journal),
+                       "--report-jsonl", str(report)], tmp_path,
+                      chaos_env="parent:int=1", check=False,
+                      cache="cache-b")
+        assert proc.returncode == EXIT_INTERRUPTED, proc.stderr
+        assert "resume with" in proc.stderr
+        assert not report.exists()
+        state = load_journal(journal)
+        assert state.by_state("interrupted")
+
+        _repro(["resume", str(journal)], tmp_path, cache="cache-b")
+        assert baseline.read_bytes() == report.read_bytes()
