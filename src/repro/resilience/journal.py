@@ -15,9 +15,15 @@ The writer appends one line per record and flushes after each write, so a
 SIGKILLed process loses at most the final line — and that line may be torn
 (partial).  :func:`load_journal` therefore parses defensively: a non-JSON
 *final* line is counted and skipped, never fatal.  Folding the records by
-index (last state wins) reconstructs the campaign's frontier: which tasks
-finished (and under which cache keys), which were in flight, and which
-never started.
+``(sweep, index)`` (last state wins) reconstructs the campaign's frontier:
+which tasks finished (and under which cache keys), which were in flight,
+and which never started.  The sweep ordinal is derived while folding — the
+scheduler emits a ``sweep`` note before each ``run_tasks`` batch, so a
+campaign that runs several sweeps through one journal keeps their
+identically-numbered tasks distinct; each ``meta`` record (a resume
+generation replaying the same argv) restarts the ordinal at zero so a
+resumed sweep's records overwrite its earlier generation's, not stack
+beside them.
 
 Resume is deliberately thin: ``repro resume <journal>`` re-invokes the
 recorded argv with the journal re-attached.  Completed tasks replay from
@@ -107,12 +113,17 @@ class RunJournal:
 
 
 class JournalState:
-    """A journal file folded into its latest-state-per-task view."""
+    """A journal file folded into its latest-state-per-task view.
+
+    ``tasks`` is keyed by ``(sweep, index)``: the sweep ordinal within the
+    latest generation (0 when a campaign runs a single sweep, which is the
+    common case) and the task index within that sweep.
+    """
 
     def __init__(self, path: pathlib.Path):
         self.path = pathlib.Path(path)
         self.metas: List[dict] = []
-        self.tasks: Dict[int, dict] = {}
+        self.tasks: Dict[tuple, dict] = {}
         self.notes: List[dict] = []
         self.torn_lines = 0
 
@@ -136,12 +147,14 @@ class JournalState:
         return int(self.meta.get("total", 0)) if self.meta else 0
 
     def by_state(self, state: str) -> List[int]:
-        return sorted(i for i, rec in self.tasks.items()
+        """Task indices in ``state``; multi-sweep campaigns may repeat an
+        index (one entry per sweep that has a task in that state)."""
+        return sorted(i for (_sweep, i), rec in self.tasks.items()
                       if rec.get("state") == state)
 
     def unfinished(self) -> List[int]:
         """Indices whose last recorded state is not ``done``/``failed``."""
-        return sorted(i for i, rec in self.tasks.items()
+        return sorted(i for (_sweep, i), rec in self.tasks.items()
                       if rec.get("state") not in ("done", "failed"))
 
     def summary(self) -> dict:
@@ -168,6 +181,10 @@ def load_journal(path: pathlib.Path) -> JournalState:
         text = pathlib.Path(path).read_text()
     except OSError as exc:
         raise FileNotFoundError(f"cannot read journal {path}: {exc}")
+    #: "sweep" notes seen in the current generation; task records fold
+    #: under the ordinal of the most recent one (0 before any note, so
+    #: hand-written journals without sweep notes still load).
+    sweeps = 0
     for lineno, line in enumerate(text.splitlines(), 1):
         if not line.strip():
             continue
@@ -184,11 +201,14 @@ def load_journal(path: pathlib.Path) -> JournalState:
         kind = record.get("record")
         if kind == "meta":
             state.metas.append(record)
+            sweeps = 0  # a resume generation replays sweeps from the top
         elif kind == "task":
             index = record.get("index")
             if isinstance(index, int):
-                state.tasks[index] = record
+                state.tasks[(max(0, sweeps - 1), index)] = record
         else:
+            if kind == "sweep":
+                sweeps += 1
             state.notes.append(record)
     return state
 

@@ -46,19 +46,43 @@ def reset() -> None:
     _requested = None
 
 
+def _is_default_handler(sig: int) -> bool:
+    """True when ``sig`` still has its interpreter-default disposition.
+
+    Python's default for SIGINT is :func:`signal.default_int_handler`
+    (raises KeyboardInterrupt); every other signal defaults to
+    ``SIG_DFL``.  ``getsignal`` returns ``None`` for a handler installed
+    from C — unknowable and unrestorable, so treated as non-default.
+    """
+    handler = signal.getsignal(sig)
+    if sig == signal.SIGINT and handler is signal.default_int_handler:
+        return True
+    # SIG_IGN counts as non-default: a parent (nohup, shell job control)
+    # ignored the signal on purpose, and the classic Unix rule is to
+    # respect an inherited ignore.
+    return handler is signal.SIG_DFL
+
+
 @contextlib.contextmanager
 def graceful_shutdown() -> Iterator[None]:
     """Install SIGINT/SIGTERM drain handlers for the enclosed block.
 
     Only the main thread may set signal handlers; elsewhere (or when a
-    handler is already non-default, e.g. under a test harness) this is a
-    no-op context so library callers can use it unconditionally.
+    handler is already non-default, e.g. under a test harness or an
+    embedding application with its own signal strategy) this is a no-op
+    context so library callers can use it unconditionally.
     """
     reset()
     if threading.current_thread() is not threading.main_thread():
         yield
         return
     sigs = (signal.SIGINT, signal.SIGTERM)
+    if any(not _is_default_handler(s) for s in sigs):
+        # A host already routed these signals somewhere deliberate;
+        # replacing its handlers — even temporarily — would swallow its
+        # shutdown logic.  Leave them alone and run unprotected.
+        yield
+        return
     prior = {}
 
     def _handler(signum, frame):

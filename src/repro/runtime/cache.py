@@ -255,13 +255,27 @@ class ResultCache:
                 break
             except FileExistsError:
                 try:
-                    age = time.time() - path.stat().st_mtime
+                    st = path.stat()
                 except OSError:
                     continue  # holder just released: retry once
-                if age <= self._LOCK_STALE_S:
+                if time.time() - st.st_mtime <= self._LOCK_STALE_S:
                     break
+                # Stale takeover.  Two racers may both have observed the
+                # orphan; a bare unlink here could remove the *fresh* lock
+                # the other racer just created after its own takeover.  So:
+                # re-stat to confirm the path is still the inode we judged
+                # stale, rename it aside (only one renamer wins the inode),
+                # and unlink the renamed orphan — never ``path`` itself.
+                aside = path.with_name(f"{path.name}.stale.{os.getpid()}")
+                try:
+                    cur = path.stat()
+                    if (cur.st_ino, cur.st_mtime) != (st.st_ino, st.st_mtime):
+                        continue  # lock changed hands: retry the O_EXCL
+                    os.rename(path, aside)
+                except OSError:
+                    continue  # another racer won the takeover: retry
                 with contextlib.suppress(OSError):
-                    path.unlink()  # stale takeover, then retry the O_EXCL
+                    aside.unlink()
             except OSError:
                 break  # unwritable dir: proceed unlocked-skip
         try:

@@ -418,6 +418,10 @@ def _run_pool(specs, indices, results, config, tel, cache, keys,
     started: set = set()
 
     def drain_started() -> None:
+        # Called every wait-loop iteration, timeout or no timeout: workers
+        # put a marker per task unconditionally, and an undrained
+        # SimpleQueue wedges every worker once the pipe buffer (~64KiB)
+        # fills — a put() blocks holding the queue's write lock.
         while not started_q.empty():
             started.add(started_q.get())
 
@@ -472,7 +476,14 @@ def _run_pool(specs, indices, results, config, tel, cache, keys,
                     drain_deadline = time.monotonic() + shutdown.DRAIN_GRACE_S
                 elif inflight and time.monotonic() > drain_deadline:
                     for fut, (i, _t) in list(inflight.items()):
-                        fut.cancel()
+                        if not fut.cancel():
+                            # Still running: its worker keeps grinding on a
+                            # result nobody wants.  Counting it routes the
+                            # finally block through _kill_pool, so the
+                            # grace deadline actually bounds shutdown time
+                            # instead of handing the wait to the
+                            # interpreter's atexit join.
+                            abandoned += 1
                         inflight.pop(fut)
                         _mark_interrupted(results, i, specs[i].label,
                                           signame, tel,
@@ -494,8 +505,8 @@ def _run_pool(specs, indices, results, config, tel, cache, keys,
                 del deferred[i]
                 tel.task_resubmitted(i, specs[i].label, attempts[i] + 1)
                 submit(i)
+            drain_started()
             if config.task_timeout_s is not None:
-                drain_started()
                 for fut, (i, t_submit) in list(inflight.items()):
                     if fut in done or now - t_submit <= config.task_timeout_s:
                         continue

@@ -22,6 +22,7 @@ import pathlib
 import signal
 import subprocess
 import sys
+import threading
 import time
 from types import SimpleNamespace
 
@@ -148,7 +149,7 @@ class TestJournal:
         assert state.by_state("done") == [0]
         assert state.by_state("failed") == [1]
         assert state.unfinished() == [2]
-        assert state.tasks[0]["key"] == "k0"
+        assert state.tasks[(0, 0)]["key"] == "k0"
         assert state.notes and state.notes[0]["record"] == "sweep"
         assert state.torn_lines == 0
 
@@ -164,7 +165,48 @@ class TestJournal:
             state = load_journal(path)
         assert state.torn_lines == 1
         assert state.by_state("done") == [0]
-        assert 1 not in state.tasks
+        assert (0, 1) not in state.tasks
+
+    def test_multi_sweep_campaign_folds_per_sweep(self, tmp_path):
+        # An experiment that calls run_tasks twice writes two sweeps into
+        # one journal; their 0..n-1 indices must not collide in the fold.
+        path = tmp_path / "run.journal.jsonl"
+        jr = RunJournal(path)
+        jr.meta(argv=["run", "x"], command="run", name="x", total=2)
+        jr.note("sweep", name="warmup", total=2)
+        jr.task(0, "done", "w0")
+        jr.task(1, "done", "w1")
+        jr.note("sweep", name="main", total=2)
+        jr.task(0, "done", "m0")
+        jr.task(1, "failed", "m1", error="boom")
+        jr.close()
+        state = load_journal(path)
+        assert sorted(state.tasks) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        summary = state.summary()
+        assert summary["done"] == 3 and summary["failed"] == 1
+        assert state.unfinished() == []
+
+    def test_resume_generation_overwrites_prior_sweeps(self, tmp_path):
+        # Each meta record (a resume) replays the argv from the top, so
+        # its sweep ordinals restart at zero and fold *onto* the earlier
+        # generation's records instead of stacking beside them.
+        path = tmp_path / "run.journal.jsonl"
+        jr = RunJournal(path)
+        jr.meta(argv=["run", "x"], command="run", name="x", total=2)
+        jr.note("sweep", name="x", total=2)
+        jr.task(0, "done", "t0")
+        jr.task(1, "running", "t1")     # SIGKILL landed about here
+        jr.meta(argv=["run", "x"], command="run", name="x", total=2,
+                generation=1)
+        jr.note("sweep", name="x", total=2)
+        jr.task(0, "done", "t0", cached=True)
+        jr.task(1, "done", "t1")
+        jr.close()
+        state = load_journal(path)
+        assert state.generation == 1
+        assert sorted(state.tasks) == [(0, 0), (0, 1)]
+        assert state.tasks[(0, 1)]["state"] == "done"
+        assert state.unfinished() == []
 
     def test_missing_journal_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -185,7 +227,11 @@ class TestSchedulerJournaling:
             run_tasks(_specs(square, [2, 3]), name="sq")  # cache replay
         run_journal.deactivate()
         state = load_journal(jr.path)
-        assert state.by_state("done") == [0, 1]
+        # Two run_tasks calls = two sweeps in one journal; their task
+        # records fold under distinct sweep ordinals, not on top of each
+        # other, so the counts reflect all four executions.
+        assert state.by_state("done") == [0, 0, 1, 1]
+        assert sorted(state.tasks) == [(0, 0), (0, 1), (1, 0), (1, 1)]
         # First generation executed (cached=False), second replayed.
         done = [r for r in json.loads(
             "[" + ",".join(
@@ -300,6 +346,27 @@ class TestEvictionLock:
         cache.evict()
         assert not cache._lock_path().exists()
 
+    def test_lost_takeover_race_skips_scan_and_leaves_lock(self, tmp_path,
+                                                           monkeypatch):
+        # Two processes can both judge the same orphan lock stale; the
+        # takeover renames the lock aside before removing it, so the loser
+        # (whose rename fails because the winner already moved the inode)
+        # must back off without ever unlinking the path — which by then
+        # may be the winner's *fresh* lock.
+        cache = self._full_cache(tmp_path)
+        lock = cache._lock_path()
+        lock.write_text("pid=12345\n")
+        stale = time.time() - (cache._LOCK_STALE_S + 60)
+        os.utime(lock, (stale, stale))
+
+        def lose_rename(src, dst, *args, **kwargs):
+            raise FileNotFoundError(src)
+
+        monkeypatch.setattr(os, "rename", lose_rename)
+        assert cache.evict() == 0
+        assert lock.exists()
+        assert cache.counters()["eviction_lock_busy"] >= 1
+
 
 # ---------------------------------------------------------------------------
 # Pool recycle: abandoned timed-out workers are reclaimed
@@ -326,6 +393,85 @@ class TestPoolRecycle:
         assert results[2].value == {"tag": 2}
         assert results[3].value == {"tag": 3}
         _assert_no_orphans()
+
+    def test_drain_deadline_kills_abandoned_pool(self, monkeypatch):
+        # A drain whose grace expires abandons still-running tasks; those
+        # count toward the abandoned total so the epilogue SIGKILLs the
+        # pool — otherwise the interpreter's atexit join would wait out
+        # the sleepers and the grace deadline would bound nothing.
+        monkeypatch.setattr(shutdown, "DRAIN_GRACE_S", 0.2)
+        tel = Telemetry("drain", 2, progress=False)
+        specs = _specs(sleep_forever, [0, 1], key="tag")
+
+        def request_once_workers_are_up():
+            # Fire the drain only after both pool workers exist (plus a
+            # beat for them to pick their tasks up), so the sleepers are
+            # genuinely *running* — a cancel-while-queued drain would
+            # never exercise the deadline path.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline \
+                    and len(multiprocessing.active_children()) < 2:
+                time.sleep(0.05)
+            time.sleep(0.5)
+            shutdown.request("SIGINT")
+
+        trigger = threading.Thread(target=request_once_workers_are_up,
+                                   daemon=True)
+        trigger.start()
+        with runtime.using(cache_enabled=False, parallel=2, retries=0,
+                           progress=False):
+            t0 = time.monotonic()
+            results = run_tasks(specs, name="drain", telemetry=tel)
+            wall = time.monotonic() - t0
+        trigger.join(timeout=35)
+        assert all(r.interrupted for r in results)
+        assert tel.counts["recycles"] >= 1      # pool was hard-killed
+        assert wall < 30                        # nobody waited out a sleeper
+        _assert_no_orphans()
+
+
+# ---------------------------------------------------------------------------
+# Started-marker backpressure: sweeps larger than the pipe buffer
+# ---------------------------------------------------------------------------
+
+_BACKPRESSURE_SCRIPT = """\
+from repro import runtime
+from repro.runtime import TaskSpec, run_tasks
+
+def tag(i, seed=1):
+    return i
+
+if __name__ == "__main__":
+    n = 4000
+    specs = [TaskSpec(tag, {"i": i}, label=f"t{i}") for i in range(n)]
+    with runtime.using(cache_enabled=False, parallel=2, progress=False):
+        results = run_tasks(specs, name="pipe")
+    assert len(results) == n
+    assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+    print("OK", n)
+"""
+
+
+@pytest.mark.slow
+class TestStartedMarkerBackpressure:
+    def test_untimed_sweep_past_pipe_buffer_completes(self, tmp_path):
+        # 4000 start markers ≈ 100KiB of pickled tokens, well past the
+        # ~64KiB pipe buffer.  The parent must drain the marker queue even
+        # with task_timeout_s unset (the default) — when it only drained
+        # under the timeout watchdog, a worker's put() eventually blocked
+        # holding the queue lock and the whole sweep wedged.  Run in a
+        # subprocess so a regression is a timeout, not a hung suite.
+        script = tmp_path / "sweep.py"
+        script.write_text(_BACKPRESSURE_SCRIPT)
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        for var in ("REPRO_SELFCHAOS", "REPRO_SELFCHAOS_DIR",
+                    "REPRO_JOURNAL", "REPRO_TRACE"):
+            env.pop(var, None)
+        proc = subprocess.run([sys.executable, str(script)], timeout=300,
+                              capture_output=True, text=True, env=env,
+                              cwd=str(REPO))
+        assert proc.returncode == 0, proc.stderr
+        assert "OK 4000" in proc.stdout
 
 
 # ---------------------------------------------------------------------------
@@ -380,6 +526,44 @@ class TestShardFailover:
             run_sharded(build_pair, shards=2, until=UNTIL, seed=7,
                         max_respawns=0)
         _assert_no_orphans()
+
+
+# ---------------------------------------------------------------------------
+# graceful_shutdown: handler installation respects the host
+# ---------------------------------------------------------------------------
+
+class TestGracefulShutdownHandlers:
+    @pytest.fixture()
+    def restore_handlers(self):
+        sigs = (signal.SIGINT, signal.SIGTERM)
+        prior = {s: signal.getsignal(s) for s in sigs}
+        yield
+        for s, h in prior.items():
+            if h is not None:
+                signal.signal(s, h)
+
+    def test_installs_and_restores_over_default_handlers(
+            self, restore_handlers):
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        with shutdown.graceful_shutdown():
+            assert signal.getsignal(signal.SIGINT) \
+                is not signal.default_int_handler
+            assert signal.getsignal(signal.SIGTERM) is not signal.SIG_DFL
+        assert signal.getsignal(signal.SIGINT) is signal.default_int_handler
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+    def test_noop_when_host_installed_custom_handlers(self, restore_handlers):
+        def host_handler(signum, frame):  # pragma: no cover - never fired
+            pass
+
+        signal.signal(signal.SIGINT, host_handler)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        with shutdown.graceful_shutdown():
+            # The host routed SIGINT deliberately: both handlers are left
+            # exactly as found (the documented no-op).
+            assert signal.getsignal(signal.SIGINT) is host_handler
+            assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
 
 
 # ---------------------------------------------------------------------------
